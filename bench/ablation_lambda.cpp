@@ -1,0 +1,65 @@
+// Ablation: the σ-margin of the (σ, ρ, λ) schedule.  The paper fixes
+// λ = 1/(1−ρ) as the smallest loss-free vacation factor; our schedule adds
+// a σ-margin m (slots sized for m·σ) to absorb packetisation.  This bench
+// sweeps m and shows the trade-off Lemma 1 predicts: small m leaves
+// residual backlog that drains only at the rate headroom (delay spikes),
+// large m stretches every vacation (delay grows linearly in m).
+
+#include <iostream>
+
+#include "core/adaptive_host.hpp"
+#include "experiments/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace emcast;
+using namespace emcast::experiments;
+
+namespace {
+
+double run_with_margin(TrafficKind kind, double utilization, double margin) {
+  sim::Simulator sim;
+  ScenarioConfig sc;
+  sc.kind = kind;
+  sc.seed = 5;
+  sc.envelope_calibration = 305.0;
+  Scenario scenario = make_scenario(sc);
+
+  core::AdaptiveHostConfig hc;
+  hc.flows = scenario.specs;
+  hc.capacity = scenario.capacity_for(utilization);
+  hc.mode = core::ControlMode::SigmaRhoLambda;
+  hc.lambda_sigma_margin = margin;
+  core::AdaptiveHost host(sim, hc, [](sim::Packet) {});
+  host.set_warmup(10.0);
+  for (auto& src : scenario.sources) {
+    src->start(sim, [&host](sim::Packet p) { host.offer(std::move(p)); },
+               300.0);
+  }
+  sim.run(305.0);
+  return host.delay().worst_case();
+}
+
+}  // namespace
+
+int main() {
+  util::Table table(
+      "Ablation: (s,r,l) slot sigma-margin m vs worst-case delay [s] "
+      "(single host, 300 s)");
+  table.column("margin", 2)
+      .column("audio rho=0.5", 3)
+      .column("audio rho=0.9", 3)
+      .column("video rho=0.5", 3)
+      .column("video rho=0.9", 3);
+  for (double m : {1.0, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+    table.row({m, run_with_margin(TrafficKind::Audio, 0.5, m),
+               run_with_margin(TrafficKind::Audio, 0.9, m),
+               run_with_margin(TrafficKind::Video, 0.5, m),
+               run_with_margin(TrafficKind::Video, 0.9, m)});
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: delays fall from m=1 (zero-margin residue) "
+              "to a minimum near 1.1-1.5, then grow ~linearly with m "
+              "(longer vacations).\n");
+  return 0;
+}

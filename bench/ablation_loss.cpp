@@ -1,0 +1,49 @@
+// Failure injection: multicast delivery under bursty overlay packet loss
+// (Gilbert-Elliott, per receiving member).  The paper defers loss to
+// future work; this bench quantifies how each control scheme's worst-case
+// delay and delivery ratio behave when the substrate starts dropping —
+// regulation controls timing, so the delivery ratio should track the raw
+// loss process (≈ (1−p)^depth per receiver) identically for all schemes.
+
+#include <iostream>
+
+#include "experiments/multigroup_sim.hpp"
+#include "util/table.hpp"
+
+using namespace emcast;
+using namespace emcast::experiments;
+
+int main() {
+  util::Table table(
+      "Failure injection: 665 hosts / 3 audio groups at rho = 0.80, "
+      "Gilbert-Elliott loss (burst 3)");
+  table.column("loss_rate", 3)
+      .column("scheme")
+      .column("wdb [s]", 3)
+      .column("mean [s]", 4)
+      .column("delivery_ratio", 4);
+  for (double loss : {0.0, 0.01, 0.03, 0.05, 0.10}) {
+    for (auto reg : {RegulationScheme::SigmaRho,
+                     RegulationScheme::SigmaRhoLambda}) {
+      MultiGroupSimConfig c;
+      c.kind = TrafficKind::Audio;
+      c.regulation = reg;
+      c.utilization = 0.80;
+      c.hosts = 665;
+      c.duration = 20.0;
+      c.warmup = 3.0;
+      c.seed = 29;
+      c.loss_rate = loss;
+      const auto r = run_multigroup(c);
+      table.row({loss, std::string(to_string(reg)), r.worst_case_delay,
+                 r.mean_delay, r.delivery_ratio});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: delivery ratio falls with the injected loss rate "
+      "(compounded down the tree) and is scheme-independent; worst-case "
+      "delays stay at their lossless levels (regulation is timing control, "
+      "not reliability).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the figure/table regeneration benches: consistent
+// table output plus crossover/gain summaries matching how the paper
+// reports its results.
+
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace emcast::bench {
+
+/// Print the crossover of two worst-case-delay series (the paper's "rate
+/// threshold") and the maximum improvement ratio above it.
+inline void print_threshold_summary(const std::vector<double>& grid,
+                                    const std::vector<double>& plain,
+                                    const std::vector<double>& lambda,
+                                    double paper_threshold,
+                                    double paper_gain) {
+  const auto cross = util::crossover(grid, lambda, plain);
+  double best_gain = 0.0;
+  double best_rho = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (lambda[i] > 0.0 && plain[i] / lambda[i] > best_gain) {
+      best_gain = plain[i] / lambda[i];
+      best_rho = grid[i];
+    }
+  }
+  std::printf("\nmeasured rate threshold : %s",
+              cross ? "" : "not crossed in sweep range");
+  if (cross) std::printf("rho = %.3f", *cross);
+  std::printf("   (paper: %.2f)\n", paper_threshold);
+  std::printf("max improvement D/Dhat  : %.2fx at rho = %.2f   (paper: %.2fx)\n",
+              best_gain, best_rho, paper_gain);
+}
+
+}  // namespace emcast::bench

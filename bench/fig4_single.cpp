@@ -1,0 +1,79 @@
+// Fig. 4 (a/b/c): worst-case delay of a single regulated end host vs the
+// average input rate ρ̄ of its three flows, comparing the (σ, ρ) and
+// (σ, ρ, λ) regulators (plus the adaptive algorithm, which the paper's
+// curves imply: it should track the lower envelope of the two).
+//
+// Build-time selector FIG4_KIND: 0 = three audio streams (Fig. 4a),
+// 1 = three video streams (Fig. 4b), 2 = one video + two audio (Fig. 4c).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "experiments/sweep.hpp"
+#include "netcalc/threshold.hpp"
+#include "util/table.hpp"
+
+using namespace emcast;
+using namespace emcast::experiments;
+
+namespace {
+
+struct FigureSpec {
+  TrafficKind kind;
+  const char* figure;
+  double paper_threshold;  ///< measured crossover the paper reports
+  double paper_gain;       ///< max improvement the paper reports
+};
+
+constexpr FigureSpec kSpecs[] = {
+    {TrafficKind::Audio, "Fig 4(a)", 0.66, 2.80},
+    {TrafficKind::Video, "Fig 4(b)", 0.67, 2.82},
+    {TrafficKind::Hetero, "Fig 4(c)", 0.74, 3.15},
+};
+
+}  // namespace
+
+int main() {
+  const FigureSpec spec = kSpecs[FIG4_KIND];
+  const auto grid = paper_rho_grid();
+
+  SingleHostConfig base;
+  base.kind = spec.kind;
+  base.duration = 600.0;
+  base.warmup = 10.0;
+  base.seed = 5;
+
+  base.mode = core::ControlMode::SigmaRho;
+  const auto plain = sweep_single_host(base, grid);
+  base.mode = core::ControlMode::SigmaRhoLambda;
+  const auto lambda = sweep_single_host(base, grid);
+  base.mode = core::ControlMode::Adaptive;
+  const auto adaptive = sweep_single_host(base, grid);
+
+  util::Table table(std::string(spec.figure) +
+                    ": single regulated end host, " + to_string(spec.kind) +
+                    " — worst-case delay [s] vs average input rate");
+  table.column("rho", 2)
+      .column("D(sigma,rho)", 4)
+      .column("D(sigma,rho,lambda)", 4)
+      .column("D(adaptive)", 4)
+      .column("packets");
+  std::vector<double> ys_plain, ys_lambda;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    table.row({grid[i], plain[i].worst_case_delay,
+               lambda[i].worst_case_delay, adaptive[i].worst_case_delay,
+               static_cast<long long>(plain[i].packets)});
+    ys_plain.push_back(plain[i].worst_case_delay);
+    ys_lambda.push_back(lambda[i].worst_case_delay);
+  }
+  table.print(std::cout);
+
+  bench::print_threshold_summary(grid, ys_plain, ys_lambda,
+                                 spec.paper_threshold, spec.paper_gain);
+  const double theory = spec.kind == TrafficKind::Hetero
+                            ? netcalc::utilization_threshold_heterogeneous(3)
+                            : netcalc::utilization_threshold_homogeneous(3);
+  std::printf("theoretical threshold   : K*rho* = %.3f (Theorems 3/4, K=3)\n",
+              theory);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// google-benchmark microbenchmarks of the hot engine components: event
+// queue, token bucket, (σ, ρ, λ) bank, MUX, Dijkstra and tree builders.
+// These are throughput references for anyone extending the simulator.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/lambda_regulator.hpp"
+#include "core/mux.hpp"
+#include "core/token_bucket_regulator.hpp"
+#include "overlay/dsct.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "topology/backbone.hpp"
+#include "topology/host_attachment.hpp"
+#include "topology/shortest_path.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emcast;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (double t : times) q.push(t, [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule_in(0.001, tick);
+    };
+    sim.schedule_in(0.001, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_TokenBucketOffer(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    core::TokenBucketRegulator reg(sim, traffic::FlowSpec{0, 1e6, 1e5},
+                                   [](sim::Packet) {});
+    for (int i = 0; i < 1000; ++i) {
+      sim::Packet p;
+      p.flow = 0;
+      p.size = 800;
+      reg.offer(std::move(p));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_TokenBucketOffer);
+
+void BM_LambdaBankThroughput(benchmark::State& state) {
+  std::vector<traffic::FlowSpec> flows{
+      {0, 10000, 20000}, {1, 10000, 20000}, {2, 10000, 20000}};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    core::LambdaRegulatorBank bank(sim, flows, 100000.0, [](sim::Packet) {});
+    for (int i = 0; i < 900; ++i) {
+      sim::Packet p;
+      p.flow = static_cast<FlowId>(i % 3);
+      p.size = 800;
+      bank.offer(std::move(p));
+    }
+    sim.run(100.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 900);
+}
+BENCHMARK(BM_LambdaBankThroughput);
+
+void BM_MuxPriorityService(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    core::Mux mux(sim, 1e6, [](sim::Packet) {},
+                  core::MuxDiscipline::PriorityLifoLowest);
+    for (int i = 0; i < 1000; ++i) {
+      sim::Packet p;
+      p.priority = static_cast<std::uint8_t>(i % 3);
+      p.size = 800;
+      mux.offer(std::move(p));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_MuxPriorityService);
+
+void BM_DijkstraBackbone(benchmark::State& state) {
+  const auto g = topology::make_fig5_backbone();
+  for (auto _ : state) {
+    for (NodeId s = 0; s < static_cast<NodeId>(g.node_count()); ++s) {
+      benchmark::DoNotOptimize(topology::dijkstra(g, s));
+    }
+  }
+}
+BENCHMARK(BM_DijkstraBackbone);
+
+void BM_DelayMatrix665Hosts(benchmark::State& state) {
+  const auto backbone = topology::make_fig5_backbone();
+  topology::HostAttachmentConfig hc;
+  hc.host_count = 665;
+  const auto net = topology::attach_hosts(backbone, hc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::DelayMatrix(net.graph));
+  }
+}
+BENCHMARK(BM_DelayMatrix665Hosts);
+
+void BM_DsctBuild665(benchmark::State& state) {
+  const auto backbone = topology::make_fig5_backbone();
+  topology::HostAttachmentConfig hc;
+  hc.host_count = 665;
+  const auto net = topology::attach_hosts(backbone, hc);
+  const topology::DelayMatrix delays(net.graph);
+  std::vector<overlay::Member> members(net.hosts.size());
+  std::vector<int> domain(net.hosts.size());
+  for (std::size_t i = 0; i < net.hosts.size(); ++i) {
+    members[i] = overlay::Member{i, net.hosts[i]};
+    domain[i] = static_cast<int>(net.attachment[i]);
+  }
+  overlay::RttFn rtt = [&](std::size_t a, std::size_t b) {
+    return delays.rtt(net.hosts[a], net.hosts[b]);
+  };
+  for (auto _ : state) {
+    overlay::DsctConfig cfg;
+    benchmark::DoNotOptimize(
+        overlay::build_dsct(members, domain, rtt, 0, cfg));
+  }
+}
+BENCHMARK(BM_DsctBuild665);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Lemma 2: the DSCT height bound ⌈log_k(k + (n − j1)(k − 1))⌉ against the
+// layer counts of trees actually built by the DSCT constructor over the
+// Fig. 5 network.
+
+#include <iostream>
+
+#include "experiments/multigroup_sim.hpp"
+#include "netcalc/dsct_bounds.hpp"
+#include "util/table.hpp"
+
+using namespace emcast;
+using namespace emcast::experiments;
+
+int main() {
+  {
+    util::Table table("Lemma 2 height bound vs group size n and cluster k");
+    table.column("n").column("k=2").column("k=3").column("k=4").column("k=6");
+    for (long long n : {10, 50, 100, 250, 665, 1000, 2000}) {
+      table.row({n, static_cast<long long>(netcalc::lemma2_height_bound(n, 2)),
+                 static_cast<long long>(netcalc::lemma2_height_bound(n, 3)),
+                 static_cast<long long>(netcalc::lemma2_height_bound(n, 4)),
+                 static_cast<long long>(netcalc::lemma2_height_bound(n, 6))});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::Table table(
+        "Built DSCT trees (k = 3) vs Lemma 2 bound (+2 for the domain split)");
+    table.column("hosts").column("built_layers").column("lemma2_bound")
+        .column("within_bound");
+    for (std::size_t hosts : {100u, 200u, 400u, 665u}) {
+      MultiGroupSimConfig c;
+      c.hosts = hosts;
+      c.groups = 3;
+      c.seed = 17;
+      const auto r = evaluate_trees(c);
+      const int bound = netcalc::lemma2_height_bound(
+                            static_cast<long long>(hosts), 3) + 2;
+      table.row({static_cast<long long>(hosts),
+                 static_cast<long long>(r.max_layers),
+                 static_cast<long long>(bound),
+                 std::string(r.max_layers <= bound ? "yes" : "NO")});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

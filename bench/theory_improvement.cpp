@@ -1,0 +1,53 @@
+// Theorems 5/6: the improvement ratio Dg/D̂g of the (σ, ρ) bound over the
+// (σ, ρ, λ) bound, and its O(Kⁿ) growth inside the load windows
+// ρ̄ ∈ [1/K − 1/K^{n+1}, 1/K).
+
+#include <cmath>
+#include <iostream>
+
+#include "netcalc/improvement.hpp"
+#include "netcalc/threshold.hpp"
+#include "util/table.hpp"
+
+using namespace emcast;
+using namespace emcast::netcalc;
+
+int main() {
+  {
+    util::Table table(
+        "Improvement-ratio lower bound Dg/Dhat vs utilisation (K = 3)");
+    table.column("K*rho", 3).column("bound", 3).column("exact_hom", 3);
+    for (double u = 0.80; u <= 0.999; u += 0.02) {
+      const double rho = u / 3.0;
+      table.row({u, improvement_lower_bound(3, rho),
+                 improvement_exact_homogeneous(3, rho)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::Table table("O(K^n) scaling at the window edge rho = 1/K - 1/K^{n+1}");
+    table.column("K").column("n").column("window_low", 6).column("bound", 1)
+        .column("theta_ref", 1).column("bound/K^n", 3);
+    for (int k : {4, 8, 16, 32}) {
+      for (int n : {1, 2, 3}) {
+        const double edge = improvement_window_low(k, n);
+        const double bound = improvement_lower_bound(k, edge);
+        table.row({static_cast<long long>(k), static_cast<long long>(n), edge,
+                   bound, improvement_theta_reference(k, n),
+                   bound / std::pow(static_cast<double>(k), n)});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  // Validity of the windows against the threshold (Theorem 5's premise).
+  std::printf("\nwindow validity (1/K - 1/K^{n+1} >= rho*):\n");
+  for (int k : {3, 5, 10}) {
+    const double rstar = rho_star_heterogeneous(k);
+    std::printf("  K=%-3d n=1: %s   n=2: %s\n", k,
+                improvement_window_valid(k, 1, rstar) ? "valid" : "invalid",
+                improvement_window_valid(k, 2, rstar) ? "valid" : "invalid");
+  }
+  return 0;
+}

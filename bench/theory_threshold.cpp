@@ -1,0 +1,53 @@
+// Theorems 3(ii)/4(ii): the rate threshold ρ* and the control-range ratio
+// (1/K − ρ*)/(1/K) for growing K, converging to (5−√21)/2 ≈ 0.21
+// (heterogeneous) and 2−√3 ≈ 0.27 (homogeneous); equivalently the
+// utilisation thresholds K·ρ* → 0.79 / 0.73 the paper quotes as ρ* = 0.79C
+// and 0.73C.
+
+#include <iostream>
+
+#include "netcalc/threshold.hpp"
+#include "util/table.hpp"
+
+using namespace emcast;
+using namespace emcast::netcalc;
+
+int main() {
+  util::Table table(
+      "Rate threshold rho* and control range vs group count K "
+      "(Theorems 3/4)");
+  table.column("K")
+      .column("rho*_hom", 5)
+      .column("K*rho*_hom", 4)
+      .column("range_hom", 4)
+      .column("rho*_het", 5)
+      .column("K*rho*_het", 4)
+      .column("range_het", 4);
+  for (int k : {2, 3, 4, 5, 8, 10, 20, 50, 100, 1000}) {
+    const double hom = rho_star_homogeneous(k);
+    const double het = rho_star_heterogeneous(k);
+    table.row({static_cast<long long>(k), hom, k * hom,
+               control_range_ratio(hom, k), het, k * het,
+               control_range_ratio(het, k)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nasymptotic control ranges:  homogeneous 2-sqrt(3) = %.4f, "
+              "heterogeneous (5-sqrt(21))/2 = %.4f\n",
+              control_range_limit_homogeneous(),
+              control_range_limit_heterogeneous());
+  std::printf("asymptotic utilisation thresholds:  0.732C (hom), 0.791C (het) "
+              "— the paper's 0.73C / 0.79C\n");
+
+  // Cross-check the closed forms against the generic bisection solver.
+  double max_err = 0;
+  for (int k = 2; k <= 200; ++k) {
+    max_err = std::max(max_err, std::abs(*rho_star_numeric(k, false) -
+                                         rho_star_homogeneous(k)));
+    max_err = std::max(max_err, std::abs(*rho_star_numeric(k, true) -
+                                         rho_star_heterogeneous(k)));
+  }
+  std::printf("closed form vs numeric solver, max |err| over K=2..200: %.2e\n",
+              max_err);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Live video streaming over a multi-group overlay — the workload the
+// paper's introduction motivates.  Three 1.5 Mbit/s MPEG streams are
+// multicast to 665 end hosts over the Fig. 5 backbone; we compare the
+// worst-case delay a viewer experiences under the capacity-aware baseline
+// and under DSCT with the adaptive (σ, ρ, λ) control, at a comfortable and
+// at a heavy load.
+//
+//   build/examples/live_video_streaming
+
+#include <cstdio>
+
+#include "experiments/multigroup_sim.hpp"
+
+using namespace emcast;
+using namespace emcast::experiments;
+
+namespace {
+
+void compare_at(double utilization) {
+  std::printf("--- utilisation %.2f ---\n", utilization);
+  for (auto reg : {RegulationScheme::CapacityAware,
+                   RegulationScheme::SigmaRho, RegulationScheme::Adaptive}) {
+    MultiGroupSimConfig c;
+    c.kind = TrafficKind::Video;
+    c.family = TreeFamily::Dsct;
+    c.regulation = reg;
+    c.utilization = utilization;
+    c.hosts = 665;
+    c.duration = 15.0;
+    c.warmup = 3.0;
+    c.seed = 31;
+    const auto r = run_multigroup(c);
+    std::printf(
+        "  %-18s layers=%d height=%d  worst viewer delay=%.3fs  mean=%.3fs\n",
+        to_string(reg), r.max_layers, r.max_height_hops, r.worst_case_delay,
+        r.mean_delay);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("665 viewers, 3 live MPEG-1 video channels, Fig. 5 backbone\n\n");
+  compare_at(0.50);
+  compare_at(0.90);
+  std::printf(
+      "\nAt heavy load the capacity-aware tree grows taller (longer paths), "
+      "while the\nadaptive algorithm switches to (sigma,rho,lambda) turn-"
+      "taking and keeps both the\ntree height and the worst-case delay "
+      "flat.\n");
+  return 0;
+}

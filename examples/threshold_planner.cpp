@@ -1,0 +1,65 @@
+// Capacity-planning with the paper's theory: given a group count K, flow
+// burstiness σ and rate ρ, print the rate threshold, both worst-case delay
+// bounds across the load range, and the multicast bounds for a DSCT tree
+// of a given size.  Usage:
+//
+//   build/examples/threshold_planner [K] [group_size]
+//
+// Defaults reproduce the paper's setting (K = 3, n = 665).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "netcalc/delay_bounds.hpp"
+#include "netcalc/dsct_bounds.hpp"
+#include "netcalc/improvement.hpp"
+#include "netcalc/threshold.hpp"
+
+using namespace emcast;
+using namespace emcast::netcalc;
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 3;
+  const long long group_size = argc > 2 ? std::atoll(argv[2]) : 665;
+  if (k < 2 || group_size < 2) {
+    std::fprintf(stderr, "usage: threshold_planner [K>=2] [group_size>=2]\n");
+    return 1;
+  }
+
+  std::printf("=== worst-case delay planning: K = %d groups, n = %lld ===\n\n",
+              k, group_size);
+
+  const double hom = rho_star_homogeneous(k);
+  const double het = rho_star_heterogeneous(k);
+  std::printf("rate threshold rho* (per-flow, fraction of C):\n");
+  std::printf("  homogeneous   : %.4f  (total utilisation %.3f C)\n", hom,
+              k * hom);
+  std::printf("  heterogeneous : %.4f  (total utilisation %.3f C)\n\n", het,
+              k * het);
+
+  const int height = lemma2_height_bound(group_size, 3);
+  std::printf("DSCT height bound (k = 3): %d layers -> %d overlay hops\n\n",
+              height, height - 1);
+
+  std::printf("normalised WDB per unit burst (sigma-hat = 0.01):\n");
+  std::printf("  %-8s %-14s %-14s %-10s %s\n", "K*rho", "D(s,r)", "D(s,r,l)",
+              "winner", "multicast x(H-1)");
+  const double sigma = 0.01;
+  for (double u = 0.3; u <= 0.96; u += 0.1) {
+    const double rho = u / k;
+    const double plain = remark1_wdb_plain(k, sigma, rho);
+    const double lambda = theorem2_wdb_lambda(k, sigma, sigma, rho);
+    std::printf("  %-8.2f %-14.4f %-14.4f %-10s %.4f\n", u, plain, lambda,
+                lambda < plain ? "(s,r,l)" : "(s,r)",
+                (lambda < plain ? lambda : plain) * (height - 1));
+  }
+
+  std::printf("\nimprovement ratio bound near saturation:\n");
+  for (int n = 1; n <= 3; ++n) {
+    const double edge = improvement_window_low(k, n);
+    if (!improvement_window_valid(k, n, het)) break;
+    std::printf("  rho in [1/K - 1/K^%d, 1/K): Dg/Dhat >= %.1f  (O(K^%d))\n",
+                n + 1, improvement_lower_bound(k, edge), n);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "core/mux.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emcast::core {
+
+Mux::Mux(sim::Simulator& sim, Rate capacity, Sink sink,
+         MuxDiscipline discipline)
+    : sim_(sim),
+      capacity_(capacity),
+      sink_(std::move(sink)),
+      discipline_(discipline) {
+  if (capacity <= 0) throw std::invalid_argument("Mux: capacity <= 0");
+}
+
+Bits Mux::backlog_bits() const {
+  Bits sum = 0;
+  for (const auto& q : classes_) sum += q.backlog_bits();
+  return sum;
+}
+
+Bits Mux::peak_backlog_bits() const { return peak_backlog_; }
+
+void Mux::offer(sim::Packet p) {
+  const auto cls = std::min<std::size_t>(p.priority, kPriorityClasses - 1);
+  classes_[cls].push(std::move(p));
+  peak_backlog_ = std::max(peak_backlog_, backlog_bits());
+  if (!busy_) start_service();
+}
+
+sim::FifoQueue* Mux::highest_nonempty() {
+  for (auto& q : classes_) {
+    if (!q.empty()) return &q;
+  }
+  return nullptr;
+}
+
+bool Mux::is_lowest_occupied(const sim::FifoQueue* q) const {
+  for (auto it = classes_.rbegin(); it != classes_.rend(); ++it) {
+    if (!it->empty()) return &*it == q;
+  }
+  return false;
+}
+
+void Mux::start_service() {
+  sim::FifoQueue* q = highest_nonempty();
+  if (q == nullptr) return;
+  busy_ = true;
+  const bool lifo = discipline_ == MuxDiscipline::PriorityLifoLowest &&
+                    is_lowest_occupied(q);
+  // Non-preemptive: the packet chosen now completes its transmission even
+  // if higher-priority (or, under LIFO, newer) packets arrive meanwhile.
+  sim::Packet p = lifo ? q->pop_newest() : q->pop();
+  const Time tx = p.size / capacity_;
+  sim_.schedule_in(tx, [this, p = std::move(p)]() mutable {
+    ++served_;
+    sink_(std::move(p));
+    busy_ = false;
+    start_service();
+  });
+}
+
+}  // namespace emcast::core

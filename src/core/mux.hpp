@@ -1,0 +1,69 @@
+#pragma once
+// The general MUX of Sections III–IV: a work-conserving multiplexer that
+// merges the flows arriving on an end host's input links into its single
+// output link of capacity C.  "General" means a packet of one flow may
+// have priority over another's — we implement strict priority classes with
+// FIFO order inside a class (priority 0 = highest); with all packets in
+// one class this degenerates to plain FIFO, the configuration used by the
+// paper's experiments.
+
+#include <array>
+#include <functional>
+
+#include "sim/fifo_queue.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace emcast::core {
+
+/// Service order inside the MUX.  Both are work-conserving, so both are
+/// "general MUXes" in the paper's sense; they differ in how adversarial
+/// the overtaking is:
+///   PriorityFifo        — strict priority across classes, FIFO inside a
+///                         class (realises the per-class Cruz bound).
+///   PriorityLifoLowest  — strict priority across classes, LIFO inside the
+///                         *lowest occupied* class: a tagged packet can be
+///                         overtaken even by its own flow's later packets,
+///                         which is the adversary behind the paper's
+///                         Dg = Σσ/(1−Σρ) worst case.
+enum class MuxDiscipline { PriorityFifo, PriorityLifoLowest };
+
+class Mux {
+ public:
+  using Sink = std::function<void(sim::Packet)>;
+  static constexpr std::size_t kPriorityClasses = 4;
+
+  Mux(sim::Simulator& sim, Rate capacity, Sink sink,
+      MuxDiscipline discipline = MuxDiscipline::PriorityFifo);
+
+  /// Submit a packet; service starts immediately when the server is idle
+  /// (work conservation).
+  void offer(sim::Packet p);
+
+  Rate capacity() const { return capacity_; }
+  bool busy() const { return busy_; }
+  Bits backlog_bits() const;
+  Bits peak_backlog_bits() const;
+  std::uint64_t served() const { return served_; }
+
+  MuxDiscipline discipline() const { return discipline_; }
+
+ private:
+  void start_service();
+  sim::FifoQueue* highest_nonempty();
+  /// True when `q` is the lowest-priority class with any packets and a
+  /// higher class exists or existed — the class LIFO service applies to.
+  bool is_lowest_occupied(const sim::FifoQueue* q) const;
+
+  sim::Simulator& sim_;
+  Rate capacity_;
+  Sink sink_;
+  MuxDiscipline discipline_;
+  std::array<sim::FifoQueue, kPriorityClasses> classes_;
+  bool busy_ = false;
+  Bits peak_backlog_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace emcast::core

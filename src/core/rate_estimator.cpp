@@ -1,0 +1,53 @@
+#include "core/rate_estimator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::core {
+
+RateEstimator::RateEstimator(Time window, std::size_t bins)
+    : window_(window),
+      bin_width_(window / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  if (window <= 0 || bins == 0) {
+    throw std::invalid_argument("RateEstimator: bad window/bins");
+  }
+}
+
+std::size_t RateEstimator::bin_of(Time t) const {
+  const auto global = static_cast<long long>(std::floor(t / bin_width_));
+  return static_cast<std::size_t>(((global % static_cast<long long>(bins_.size())) +
+                                   static_cast<long long>(bins_.size())) %
+                                  static_cast<long long>(bins_.size()));
+}
+
+void RateEstimator::advance_to(Time t) const {
+  const auto target = static_cast<long long>(std::floor(t / bin_width_));
+  if (target <= current_bin_) return;
+  const auto steps = target - current_bin_;
+  const auto n = static_cast<long long>(bins_.size());
+  // Clear every bin we rotate past (cap at one full rotation).
+  for (long long s = 1; s <= std::min(steps, n); ++s) {
+    const auto idx = static_cast<std::size_t>((((current_bin_ + s) % n) + n) % n);
+    total_ -= bins_[idx];
+    bins_[idx] = 0;
+  }
+  current_bin_ = target;
+}
+
+void RateEstimator::record(Time t, Bits bits) {
+  advance_to(t);
+  bins_[bin_of(t)] += bits;
+  total_ += bits;
+}
+
+Rate RateEstimator::rate_at(Time t) const {
+  advance_to(t);
+  // Until a full window has elapsed, normalise by the elapsed time to avoid
+  // under-reporting during start-up.
+  const Time effective = std::min(t, window_);
+  if (effective <= 0) return 0.0;
+  return total_ / effective;
+}
+
+}  // namespace emcast::core

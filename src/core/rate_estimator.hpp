@@ -1,0 +1,39 @@
+#pragma once
+// Sliding-window rate measurement.  Step 1 of the adaptive control
+// algorithm: "end host g_j^i calculates the average input rate ρ̄ of the K̂
+// real-time flows".  The estimator bins arriving bits into fixed-width
+// time buckets and reports total bits over the window, which is O(1) per
+// sample and immune to packet-rate spikes.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::core {
+
+class RateEstimator {
+ public:
+  /// `window` seconds of history, split into `bins` buckets.
+  explicit RateEstimator(Time window = 1.0, std::size_t bins = 20);
+
+  /// Record `bits` arriving at time `t` (monotonically non-decreasing).
+  void record(Time t, Bits bits);
+
+  /// Average rate over the trailing window at time `t` [bits/s].
+  Rate rate_at(Time t) const;
+
+  Time window() const { return window_; }
+
+ private:
+  void advance_to(Time t) const;
+  std::size_t bin_of(Time t) const;
+
+  Time window_;
+  Time bin_width_;
+  mutable std::vector<Bits> bins_;
+  mutable long long current_bin_ = 0;  ///< global index of newest bin
+  mutable Bits total_ = 0;
+};
+
+}  // namespace emcast::core

@@ -1,0 +1,56 @@
+#include "core/token_bucket_regulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emcast::core {
+
+TokenBucketRegulator::TokenBucketRegulator(sim::Simulator& sim,
+                                           traffic::FlowSpec spec, Sink sink)
+    : sim_(sim), spec_(spec), sink_(std::move(sink)), tokens_(spec.sigma) {
+  if (spec.sigma <= 0 || spec.rho <= 0) {
+    throw std::invalid_argument("TokenBucketRegulator: σ and ρ must be > 0");
+  }
+  last_refill_ = sim.now();
+}
+
+void TokenBucketRegulator::refill_to_now() const {
+  const Time now = sim_.now();
+  tokens_ = std::min<Bits>(spec_.sigma,
+                           tokens_ + spec_.rho * (now - last_refill_));
+  last_refill_ = now;
+}
+
+Bits TokenBucketRegulator::tokens() const {
+  refill_to_now();
+  return tokens_;
+}
+
+void TokenBucketRegulator::offer(sim::Packet p) {
+  queue_.push(std::move(p));
+  try_release();
+}
+
+void TokenBucketRegulator::try_release() {
+  refill_to_now();
+  while (!queue_.empty()) {
+    const sim::Packet* head = queue_.front();
+    if (tokens_ + 1e-9 < head->size) break;
+    tokens_ -= head->size;
+    ++forwarded_;
+    sink_(queue_.pop());
+  }
+  if (!queue_.empty()) schedule_release();
+}
+
+void TokenBucketRegulator::schedule_release() {
+  if (pending_release_.pending()) return;
+  const Bits deficit = queue_.front()->size - tokens_;
+  // Floor the wait at 1 ns: a sub-femtosecond wait can be below the
+  // floating-point resolution of the clock, leaving now() unchanged and
+  // spinning the event loop at a single timestamp.
+  const Time wait = std::max(deficit / spec_.rho, 1e-9);
+  pending_release_ = sim_.schedule_in(wait, [this] { try_release(); });
+}
+
+}  // namespace emcast::core

@@ -1,0 +1,65 @@
+#include "core/turn_schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::core {
+
+TurnSchedule::TurnSchedule(const std::vector<traffic::FlowSpec>& flows,
+                           Rate capacity, Time min_idle) {
+  if (flows.empty()) throw std::invalid_argument("TurnSchedule: no flows");
+  double sum_rho = 0.0;
+  double min_period = kTimeInfinity;
+  for (const auto& f : flows) {
+    const auto [sig, rho] = f.normalized(capacity);
+    if (!(rho > 0.0 && rho < 1.0)) {
+      throw std::invalid_argument("TurnSchedule: ρ̂ must be in (0,1)");
+    }
+    if (sig <= 0.0) throw std::invalid_argument("TurnSchedule: σ must be > 0");
+    sum_rho += rho;
+    min_period = std::min(min_period, sig / (rho * (1.0 - rho)));
+  }
+  if (sum_rho > 1.0 + 1e-9) {
+    throw std::invalid_argument("TurnSchedule: stability Σρ̂ ≤ 1 violated");
+  }
+  period_ = min_period;
+  if (min_idle > 0.0) {
+    const double slack = 1.0 - std::min(sum_rho, 1.0 - 1e-6);
+    period_ = std::max(period_, min_idle / slack);
+  }
+  slots_.reserve(flows.size());
+  Time offset = 0.0;
+  for (const auto& f : flows) {
+    const auto [sig, rho] = f.normalized(capacity);
+    (void)sig;
+    const Time w = rho * period_;  // Wᵢ = σ̂*ᵢ/(1−ρ̂ᵢ) = ρ̂ᵢ·P
+    const Bits sigma_star = rho * (1.0 - rho) * period_ * capacity;
+    slots_.push_back(Slot{offset, w, sigma_star});
+    offset += w;
+  }
+}
+
+Time TurnSchedule::idle_tail() const {
+  const auto& last = slots_.back();
+  return period_ - (last.offset + last.length);
+}
+
+std::size_t TurnSchedule::slot_at(Time phase) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (phase >= slots_[i].offset &&
+        phase < slots_[i].offset + slots_[i].length) {
+      return i;
+    }
+  }
+  return slots_.size();
+}
+
+Time TurnSchedule::next_slot_start(std::size_t i, Time t, Time epoch) const {
+  const Time rel = t - epoch;
+  const double periods = std::floor(rel / period_);
+  Time start = epoch + periods * period_ + slots_[i].offset;
+  if (start < t - 1e-12) start += period_;
+  return start;
+}
+
+}  // namespace emcast::core

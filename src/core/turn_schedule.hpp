@@ -1,0 +1,69 @@
+#pragma once
+// The turn-taking schedule of the adaptive control algorithm (Section III).
+//
+// Theorem 1 chooses per-flow bursts σ*ᵢ = ρ̂ᵢ(1−ρ̂ᵢ)·min_j σ̂ⱼ/(ρ̂ⱼ(1−ρ̂ⱼ))
+// precisely so that every flow's regulator period λᵢσ*ᵢ/ρᵢ equals the same
+// common value P = min_j σ̂ⱼ/(ρ̂ⱼ(1−ρ̂ⱼ)).  With that choice, the working
+// period of flow i is Wᵢ = σ̂*ᵢ/(1−ρ̂ᵢ) = ρ̂ᵢ·P, and the stability condition
+// Σρ̂ᵢ ≤ 1 guarantees ΣWᵢ ≤ P: the K working periods tile one period with
+// (possibly) an idle remainder — a TDMA frame in which exactly one
+// regulator is in its on-state at any time, which is what "each regulator
+// works for its flow in turn" means operationally.
+
+#include <vector>
+
+#include "traffic/flow_spec.hpp"
+#include "util/types.hpp"
+
+namespace emcast::core {
+
+class TurnSchedule {
+ public:
+  /// Build a schedule for `flows` sharing an output of `capacity` bits/s.
+  /// Requires every ρ̂ᵢ ∈ (0,1) and Σρ̂ᵢ ≤ 1 (stability condition).
+  ///
+  /// `min_idle` forces the idle tail of the period to be at least this
+  /// long by inflating the period beyond the natural
+  /// min_j σ̂ⱼ/(ρ̂ⱼ(1−ρ̂ⱼ)) when necessary.  The regulator bank uses it to
+  /// absorb non-preemptive slot overruns (at most one packet per slot)
+  /// without drifting off the period grid.
+  TurnSchedule(const std::vector<traffic::FlowSpec>& flows, Rate capacity,
+               Time min_idle = 0.0);
+
+  std::size_t flow_count() const { return slots_.size(); }
+  Time period() const { return period_; }
+
+  /// Working period Wᵢ (slot length) of flow index i [s].
+  Time slot_length(std::size_t i) const { return slots_[i].length; }
+
+  /// Offset of flow i's slot within the period [s].
+  Time slot_offset(std::size_t i) const { return slots_[i].offset; }
+
+  /// Vacation Vᵢ = P − Wᵢ (the paper's σᵢ/ρᵢ under σ*-synchronisation).
+  Time vacation(std::size_t i) const { return period_ - slots_[i].length; }
+
+  /// σ*ᵢ in bits (the burst a slot can carry at line rate).
+  Bits sigma_star_bits(std::size_t i) const { return slots_[i].sigma_star; }
+
+  /// Idle tail of the period after the last slot [s]; zero at Σρ̂ᵢ = 1.
+  Time idle_tail() const;
+
+  /// Which flow's slot (if any) is active at time-in-period φ ∈ [0, P).
+  /// Returns flow_count() during the idle tail.
+  std::size_t slot_at(Time phase) const;
+
+  /// Start of the next slot of flow i at or after absolute time t, given
+  /// the schedule epoch (time of a period start).
+  Time next_slot_start(std::size_t i, Time t, Time epoch) const;
+
+ private:
+  struct Slot {
+    Time offset;
+    Time length;
+    Bits sigma_star;
+  };
+  Time period_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace emcast::core

@@ -1,0 +1,91 @@
+#pragma once
+// Simulation II (Fig. 5/6, Tables I–III): 665 end hosts attached to the
+// 19-router backbone join 3 single-source groups.  Each group's flow is
+// multicast down the group's overlay tree; every forwarding host runs the
+// configured regulation scheme on its output.  We measure the worst-case
+// multicast delay (source emission → last receiver) across all groups.
+//
+// Per-hop cost model (see DESIGN.md):
+//   regulated MUX service at C  +  app-layer forwarding overhead
+//   (constant + size/cpu_rate)  +  replication serialisation
+//   (the j-th child copy waits j·size/C)  +  underlay propagation delay.
+
+#include <cstdint>
+
+#include "core/adaptive_host.hpp"
+#include "experiments/scenarios.hpp"
+#include "overlay/multigroup.hpp"
+#include "topology/host_attachment.hpp"
+#include "util/types.hpp"
+
+namespace emcast::experiments {
+
+enum class RegulationScheme {
+  CapacityAware,   ///< no regulators; capacity-aware (degree-bounded) tree
+  SigmaRho,        ///< (σ, ρ)-regulated MUXs on the fixed tree
+  SigmaRhoLambda,  ///< (σ, ρ, λ)-regulated MUXs on the fixed tree
+  Adaptive,        ///< the paper's algorithm (switches at ρ*)
+};
+
+const char* to_string(RegulationScheme scheme);
+
+/// Tree family (the regulation scheme decides whether the capacity-aware
+/// variant of the family is used).
+enum class TreeFamily { Dsct, Nice };
+
+const char* to_string(TreeFamily family);
+
+struct MultiGroupSimConfig {
+  TrafficKind kind = TrafficKind::Audio;
+  TreeFamily family = TreeFamily::Dsct;
+  RegulationScheme regulation = RegulationScheme::SigmaRho;
+  double utilization = 0.5;     ///< ρ̄: Σ flow rates / C at every host
+  int groups = 3;
+  std::size_t hosts = 665;
+  std::size_t cluster_k = 3;    ///< DSCT/NICE k
+  Time duration = 8.0;
+  Time warmup = 2.0;
+  std::uint64_t seed = 11;
+  double headroom = 0.04;
+  Time fwd_overhead = 250e-6;   ///< app-layer per-packet constant [s]
+  Rate fwd_cpu_rate = 200e6;    ///< app-layer copy rate [bit/s]
+  /// The adversarial general MUX (see core::MuxDiscipline).
+  core::MuxDiscipline mux_discipline = core::MuxDiscipline::PriorityLifoLowest;
+
+  /// Failure injection: stationary packet-loss rate on overlay hops
+  /// (0 = lossless).  Losses follow a Gilbert-Elliott bursty process with
+  /// `loss_burst` mean consecutive drops, independently per overlay edge.
+  double loss_rate = 0.0;
+  double loss_burst = 3.0;
+};
+
+struct MultiGroupSimResult {
+  double utilization = 0;
+  Time worst_case_delay = 0;    ///< WDB estimate: max end-to-end delay [s]
+  Time mean_delay = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t losses = 0;     ///< copies dropped by injected loss
+  /// deliveries / (deliveries + losses); 1.0 when loss injection is off.
+  double delivery_ratio = 1.0;
+  int max_layers = 0;           ///< max hierarchy layers over the K trees
+  int max_height_hops = 0;      ///< max tree height in hops
+  std::uint64_t mode_switches = 0;  ///< Σ over hosts (Adaptive only)
+};
+
+MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config);
+
+/// Process-wide cache of attached networks so sweeps share one topology
+/// (thread-safe; keyed by host count and seed).
+const topology::AttachedNetwork& default_network(std::size_t hosts = 665,
+                                                 std::uint64_t seed = 42);
+
+/// Tree-structure-only evaluation (Tables I–III): build the K trees for a
+/// scheme at a given ρ̄ and report layer counts without running traffic.
+struct TreeStructureResult {
+  int max_layers = 0;
+  int max_height_hops = 0;
+  std::size_t max_fanout = 0;
+};
+TreeStructureResult evaluate_trees(const MultiGroupSimConfig& config);
+
+}  // namespace emcast::experiments

@@ -1,0 +1,89 @@
+#include "experiments/scenarios.hpp"
+
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "traffic/envelope.hpp"
+#include "traffic/mpeg_video_source.hpp"
+#include "traffic/onoff_audio_source.hpp"
+
+namespace emcast::experiments {
+
+const char* to_string(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::Audio: return "3 x 64kbps audio";
+    case TrafficKind::Video: return "3 x 1.5Mbps video";
+    case TrafficKind::Hetero: return "1 video + 2 audio";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<traffic::Source> make_audio(FlowId id, std::uint64_t seed) {
+  traffic::OnOffAudioConfig c;
+  c.flow = id;
+  c.group = id;
+  c.seed = seed;
+  return std::make_unique<traffic::OnOffAudioSource>(c);
+}
+
+std::unique_ptr<traffic::Source> make_video(FlowId id, std::uint64_t seed) {
+  traffic::MpegVideoConfig c;
+  c.flow = id;
+  c.group = id;
+  c.seed = seed;
+  return std::make_unique<traffic::MpegVideoSource>(c);
+}
+
+std::unique_ptr<traffic::Source> make_source(const ScenarioConfig& config,
+                                             int i) {
+  const auto id = static_cast<FlowId>(i);
+  const std::uint64_t seed =
+      config.seed * 1000003ULL + static_cast<std::uint64_t>(i);
+  switch (config.kind) {
+    case TrafficKind::Audio: return make_audio(id, seed);
+    case TrafficKind::Video: return make_video(id, seed);
+    case TrafficKind::Hetero:
+      return (i == 0) ? make_video(id, seed) : make_audio(id, seed);
+  }
+  throw std::invalid_argument("make_source: bad kind");
+}
+
+/// Dry-run an identically-seeded source and return the tightest σ for the
+/// given regulator rate (plus a hair of slack for float comparisons).
+Bits calibrate_sigma(const ScenarioConfig& config, int i, Rate rho_reg) {
+  sim::Simulator sim;
+  traffic::EnvelopeEstimator estimator;
+  auto probe = make_source(config, i);
+  probe->start(
+      sim,
+      [&estimator, &sim](sim::Packet p) { estimator.record(sim.now(), p.size); },
+      config.envelope_calibration);
+  sim.run(config.envelope_calibration + 1.0);
+  return estimator.sigma_for_rho(rho_reg) * 1.001 + 1.0;
+}
+
+}  // namespace
+
+Scenario make_scenario(const ScenarioConfig& config) {
+  if (config.flows < 1) throw std::invalid_argument("make_scenario: flows<1");
+  Scenario s;
+  for (int i = 0; i < config.flows; ++i) {
+    auto src = make_source(config, i);
+    auto spec = src->spec(static_cast<FlowId>(i));
+    spec.rho *= (1.0 + config.headroom);
+    // Rank flows by position: the general MUX serves flow 0's class first,
+    // so the last flow is the one experiencing the worst-case overtaking.
+    spec.priority = static_cast<std::uint8_t>(i);
+    if (config.envelope_calibration > 0) {
+      spec.sigma = calibrate_sigma(config, i, spec.rho);
+    }
+    s.specs.push_back(spec);
+    s.total_mean_rate += src->mean_rate();
+    s.sources.push_back(std::move(src));
+  }
+  return s;
+}
+
+}  // namespace emcast::experiments

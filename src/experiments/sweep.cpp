@@ -1,0 +1,85 @@
+#include "experiments/sweep.hpp"
+
+#include "util/math.hpp"
+#include "util/thread_pool.hpp"
+
+namespace emcast::experiments {
+
+std::vector<double> paper_rho_grid() {
+  std::vector<double> grid;
+  for (double r = 0.35; r <= 0.951; r += 0.05) grid.push_back(r);
+  return grid;
+}
+
+std::vector<SingleHostResult> sweep_single_host(SingleHostConfig base,
+                                                const std::vector<double>& grid,
+                                                std::size_t threads) {
+  std::vector<SingleHostResult> results(grid.size());
+  util::parallel_for(
+      grid.size(),
+      [&](std::size_t i) {
+        SingleHostConfig c = base;
+        c.utilization = grid[i];
+        results[i] = run_single_host(c);
+      },
+      threads);
+  return results;
+}
+
+std::vector<MultiGroupSimResult> sweep_multigroup(
+    MultiGroupSimConfig base, const std::vector<double>& grid,
+    std::size_t threads) {
+  // Prime the shared network cache before fanning out (avoids a thundering
+  // herd on the cache mutex doing redundant work).
+  default_network(base.hosts, 42);
+  std::vector<MultiGroupSimResult> results(grid.size());
+  util::parallel_for(
+      grid.size(),
+      [&](std::size_t i) {
+        MultiGroupSimConfig c = base;
+        c.utilization = grid[i];
+        results[i] = run_multigroup(c);
+      },
+      threads);
+  return results;
+}
+
+std::vector<TreeStructureResult> sweep_tree_structure(
+    MultiGroupSimConfig base, const std::vector<double>& grid) {
+  default_network(base.hosts, 42);
+  std::vector<TreeStructureResult> results(grid.size());
+  util::parallel_for(grid.size(), [&](std::size_t i) {
+    MultiGroupSimConfig c = base;
+    c.utilization = grid[i];
+    results[i] = evaluate_trees(c);
+  });
+  return results;
+}
+
+namespace {
+template <typename R>
+std::optional<double> crossover_impl(const std::vector<double>& grid,
+                                     const std::vector<R>& a,
+                                     const std::vector<R>& b) {
+  std::vector<double> ya, yb;
+  ya.reserve(a.size());
+  yb.reserve(b.size());
+  for (const auto& r : a) ya.push_back(r.worst_case_delay);
+  for (const auto& r : b) yb.push_back(r.worst_case_delay);
+  return util::crossover(grid, ya, yb);
+}
+}  // namespace
+
+std::optional<double> wdb_crossover(const std::vector<double>& grid,
+                                    const std::vector<SingleHostResult>& a,
+                                    const std::vector<SingleHostResult>& b) {
+  return crossover_impl(grid, a, b);
+}
+
+std::optional<double> wdb_crossover(const std::vector<double>& grid,
+                                    const std::vector<MultiGroupSimResult>& a,
+                                    const std::vector<MultiGroupSimResult>& b) {
+  return crossover_impl(grid, a, b);
+}
+
+}  // namespace emcast::experiments

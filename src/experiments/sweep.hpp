@@ -1,0 +1,39 @@
+#pragma once
+// Parallel ρ̄ sweeps — each sweep point is an independent simulation with
+// its own RNG stream, fanned out over a thread pool.  These drive every
+// figure/table bench.
+
+#include <vector>
+
+#include "experiments/multigroup_sim.hpp"
+#include "experiments/single_host.hpp"
+
+namespace emcast::experiments {
+
+/// The paper's grid: ρ̄ = 0.35, 0.40, …, 0.95.
+std::vector<double> paper_rho_grid();
+
+/// Sweep run_single_host over `grid`, varying only the utilisation.
+std::vector<SingleHostResult> sweep_single_host(SingleHostConfig base,
+                                                const std::vector<double>& grid,
+                                                std::size_t threads = 0);
+
+/// Sweep run_multigroup over `grid`.
+std::vector<MultiGroupSimResult> sweep_multigroup(
+    MultiGroupSimConfig base, const std::vector<double>& grid,
+    std::size_t threads = 0);
+
+/// Sweep evaluate_trees over `grid` (structure only, fast).
+std::vector<TreeStructureResult> sweep_tree_structure(
+    MultiGroupSimConfig base, const std::vector<double>& grid);
+
+/// Locate the empirical crossover ρ̄ between two WDB series on a grid
+/// (linear interpolation; nullopt when the curves do not cross).
+std::optional<double> wdb_crossover(const std::vector<double>& grid,
+                                    const std::vector<SingleHostResult>& a,
+                                    const std::vector<SingleHostResult>& b);
+std::optional<double> wdb_crossover(const std::vector<double>& grid,
+                                    const std::vector<MultiGroupSimResult>& a,
+                                    const std::vector<MultiGroupSimResult>& b);
+
+}  // namespace emcast::experiments

@@ -1,0 +1,188 @@
+#include "netcalc/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::netcalc {
+
+namespace {
+constexpr double kHugeRate = 1e15;
+}
+
+Curve::Curve(std::vector<Breakpoint> pts, double terminal_slope)
+    : points_(std::move(pts)), terminal_slope_(terminal_slope) {
+  if (points_.empty() || points_.front().t != 0.0) {
+    throw std::invalid_argument("Curve: first breakpoint must be at t=0");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].t <= points_[i - 1].t) {
+      throw std::invalid_argument("Curve: breakpoints must increase in t");
+    }
+  }
+}
+
+Curve Curve::affine(double sigma, double rho) {
+  if (sigma < 0 || rho < 0) throw std::invalid_argument("affine: negative");
+  // Jump to σ at 0⁺ is encoded by starting the line at (0, σ).
+  return Curve({{0.0, sigma}}, rho);
+}
+
+Curve Curve::rate_latency(double rate, double latency) {
+  if (rate <= 0 || latency < 0) {
+    throw std::invalid_argument("rate_latency: bad parameters");
+  }
+  if (latency == 0.0) return Curve({{0.0, 0.0}}, rate);
+  return Curve({{0.0, 0.0}, {latency, 0.0}}, rate);
+}
+
+Curve Curve::pure_delay(double latency) {
+  return rate_latency(kHugeRate, latency);
+}
+
+double Curve::value(double t) const {
+  if (t < 0) return 0.0;
+  // Find the last breakpoint with bp.t <= t.
+  std::size_t i = points_.size() - 1;
+  while (i > 0 && points_[i].t > t) --i;
+  const double slope =
+      (i + 1 < points_.size())
+          ? (points_[i + 1].value - points_[i].value) /
+                (points_[i + 1].t - points_[i].t)
+          : terminal_slope_;
+  return points_[i].value + slope * (t - points_[i].t);
+}
+
+double Curve::inverse(double y) const {
+  if (y <= points_.front().value) return 0.0;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    if (points_[i + 1].value >= y) {
+      const double dv = points_[i + 1].value - points_[i].value;
+      if (dv <= 0) return points_[i + 1].t;
+      const double frac = (y - points_[i].value) / dv;
+      return points_[i].t + frac * (points_[i + 1].t - points_[i].t);
+    }
+  }
+  if (terminal_slope_ <= 0) return kTimeInfinity;
+  return points_.back().t + (y - points_.back().value) / terminal_slope_;
+}
+
+Curve Curve::min_of(const Curve& a, const Curve& b) {
+  // Merge breakpoint abscissae of both curves plus pairwise segment
+  // crossings, then take the pointwise min at each.
+  std::vector<double> ts;
+  for (const auto& p : a.points_) ts.push_back(p.t);
+  for (const auto& p : b.points_) ts.push_back(p.t);
+  // Crossing of the terminal rays (sufficient for concave inputs combined
+  // with the merged breakpoints; interior crossings happen between
+  // consecutive merged abscissae and are found by the local solve below).
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  // Insert crossing points between consecutive abscissae where the sign of
+  // (a - b) changes.
+  std::vector<double> extra;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    const double lo = ts[i], hi = ts[i + 1];
+    const double dlo = a.value(lo) - b.value(lo);
+    const double dhi = a.value(hi) - b.value(hi);
+    if ((dlo > 0) != (dhi > 0) && dlo != dhi) {
+      const double t = lo + (hi - lo) * (dlo / (dlo - dhi));
+      if (t > lo && t < hi) extra.push_back(t);
+    }
+  }
+  // Terminal-ray crossing beyond the last breakpoint.
+  {
+    const double t_last = ts.back();
+    const double diff = a.value(t_last) - b.value(t_last);
+    const double dslope = a.terminal_slope_ - b.terminal_slope_;
+    if (dslope != 0.0) {
+      const double t = t_last - diff / dslope;
+      if (t > t_last) extra.push_back(t);
+    }
+  }
+  ts.insert(ts.end(), extra.begin(), extra.end());
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+  std::vector<Breakpoint> pts;
+  pts.reserve(ts.size());
+  for (double t : ts) pts.push_back({t, std::min(a.value(t), b.value(t))});
+  const double slope = std::min(a.terminal_slope_, b.terminal_slope_);
+  return Curve(std::move(pts), slope);
+}
+
+Curve Curve::concatenate_rate_latency(const Curve& a, const Curve& b) {
+  // Valid for rate-latency inputs: rates are the terminal slopes, latencies
+  // are where each curve first leaves zero.
+  auto latency_of = [](const Curve& c) {
+    double latency = 0.0;
+    for (const auto& p : c.points_) {
+      if (p.value <= 0.0) latency = p.t;
+    }
+    return latency;
+  };
+  if (a.points_.front().value != 0.0 || b.points_.front().value != 0.0) {
+    throw std::invalid_argument(
+        "concatenate_rate_latency: inputs must be rate-latency curves");
+  }
+  return rate_latency(std::min(a.terminal_slope_, b.terminal_slope_),
+                      latency_of(a) + latency_of(b));
+}
+
+double Curve::delay_bound(const Curve& arrival, const Curve& service) {
+  // h(α, β) = sup_t [β⁻¹(α(t)) − t].  For piecewise-linear α (concave) and
+  // β (convex) the sup is attained at a breakpoint of α or at the abscissa
+  // where β reaches an α breakpoint value — checking α breakpoints and
+  // β breakpoints mapped through α⁻¹ covers both.
+  double best = 0.0;
+  auto consider = [&](double t) {
+    if (t < 0 || !std::isfinite(t)) return;
+    const double d = service.inverse(arrival.value(t)) - t;
+    best = std::max(best, d);
+  };
+  for (const auto& p : arrival.points_) consider(p.t);
+  for (const auto& p : service.points_) consider(arrival.inverse(p.value));
+  // If α's terminal slope exceeds β's, the deviation grows without bound.
+  if (arrival.terminal_slope_ > service.terminal_slope_) {
+    return kTimeInfinity;
+  }
+  return best;
+}
+
+double Curve::backlog_bound(const Curve& arrival, const Curve& service) {
+  double best = 0.0;
+  auto consider = [&](double t) {
+    if (t < 0 || !std::isfinite(t)) return;
+    best = std::max(best, arrival.value(t) - service.value(t));
+  };
+  for (const auto& p : arrival.points_) consider(p.t);
+  for (const auto& p : service.points_) consider(p.t);
+  if (arrival.terminal_slope_ > service.terminal_slope_) {
+    return kTimeInfinity;
+  }
+  return best;
+}
+
+bool Curve::concave() const {
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double s = (points_[i + 1].value - points_[i].value) /
+                     (points_[i + 1].t - points_[i].t);
+    if (s > prev + 1e-12) return false;
+    prev = s;
+  }
+  return terminal_slope_ <= prev + 1e-12;
+}
+
+bool Curve::convex() const {
+  double prev = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double s = (points_[i + 1].value - points_[i].value) /
+                     (points_[i + 1].t - points_[i].t);
+    if (s < prev - 1e-12) return false;
+    prev = s;
+  }
+  return terminal_slope_ >= prev - 1e-12;
+}
+
+}  // namespace emcast::netcalc

@@ -1,0 +1,78 @@
+#pragma once
+// Cruz-style network calculus curves — the substrate the paper's analysis
+// (references [15-16]) is built on.  A curve maps elapsed time to a data
+// amount; arrival curves upper-bound traffic (concave), service curves
+// lower-bound service (convex).  We represent both as piecewise-linear
+// functions with a finite breakpoint list and a terminal slope, which is
+// closed under the operations used here.
+//
+// Units follow the normalised convention: time in seconds, data in
+// "seconds of transmission at line rate" (bits/C), so slopes are
+// dimensionless utilisations.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::netcalc {
+
+class Curve {
+ public:
+  struct Breakpoint {
+    double t;      ///< x coordinate (time)
+    double value;  ///< y coordinate (data)
+  };
+
+  /// Affine arrival curve γ_{σ,ρ}(t) = σ + ρ·t for t > 0, with γ(0) = 0
+  /// represented by the jump at t = 0⁺.
+  static Curve affine(double sigma, double rho);
+
+  /// Rate-latency service curve β_{R,T}(t) = R·(t − T)⁺.
+  static Curve rate_latency(double rate, double latency);
+
+  /// Pure delay curve δ_T (0 before T, infinite slope after): approximated
+  /// as rate_latency with a very large rate; used for propagation elements.
+  static Curve pure_delay(double latency);
+
+  /// Evaluate the curve at t ≥ 0 (right-continuous at the jump).
+  double value(double t) const;
+
+  /// Pseudo-inverse: smallest t with value(t) ≥ y (kTimeInfinity when the
+  /// curve never reaches y).
+  double inverse(double y) const;
+
+  /// Pointwise minimum — combines arrival constraints (result concave when
+  /// inputs are).
+  static Curve min_of(const Curve& a, const Curve& b);
+
+  /// Min-plus convolution of two rate-latency curves: β_{R1,T1} ⊗ β_{R2,T2}
+  /// = β_{min(R1,R2), T1+T2}.  This is how per-hop service concatenates
+  /// (the analytical counterpart of Theorem 7's hop summation).
+  static Curve concatenate_rate_latency(const Curve& a, const Curve& b);
+
+  /// Horizontal deviation h(α, β): the delay bound for arrival curve α
+  /// served by service curve β.  Exact for piecewise-linear inputs: the
+  /// maximum horizontal gap occurs at a breakpoint of either curve.
+  static double delay_bound(const Curve& arrival, const Curve& service);
+
+  /// Vertical deviation v(α, β): the backlog bound.
+  static double backlog_bound(const Curve& arrival, const Curve& service);
+
+  const std::vector<Breakpoint>& breakpoints() const { return points_; }
+  double terminal_slope() const { return terminal_slope_; }
+
+  /// True if slopes are non-increasing left to right (arrival curves).
+  bool concave() const;
+  /// True if slopes are non-decreasing left to right (service curves).
+  bool convex() const;
+
+ private:
+  Curve(std::vector<Breakpoint> pts, double terminal_slope);
+
+  // Breakpoints sorted by t, first at t = 0.  value(0) may be > 0 only via
+  // the stored point (jump at origin).
+  std::vector<Breakpoint> points_;
+  double terminal_slope_;
+};
+
+}  // namespace emcast::netcalc

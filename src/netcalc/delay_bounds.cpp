@@ -1,0 +1,113 @@
+#include "netcalc/delay_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::netcalc {
+
+namespace {
+void check_rho(double rho) {
+  if (!(rho > 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("normalised ρ must be in (0,1)");
+  }
+}
+}  // namespace
+
+double lambda_for(double rho_norm) {
+  check_rho(rho_norm);
+  return 1.0 / (1.0 - rho_norm);
+}
+
+double working_period(double sigma_norm, double rho_norm) {
+  check_rho(rho_norm);
+  return sigma_norm / (1.0 - rho_norm);
+}
+
+double vacation_period(double sigma_norm, double rho_norm) {
+  check_rho(rho_norm);
+  return sigma_norm / rho_norm;
+}
+
+double regulator_period(double sigma_norm, double rho_norm) {
+  return working_period(sigma_norm, rho_norm) +
+         vacation_period(sigma_norm, rho_norm);
+}
+
+double lemma1_regulator_delay(double sigma_star_norm, double sigma_norm,
+                              double rho_norm) {
+  check_rho(rho_norm);
+  const double excess = std::max(0.0, sigma_star_norm - sigma_norm);
+  return excess / rho_norm +
+         2.0 * lambda_for(rho_norm) * sigma_norm / rho_norm;
+}
+
+std::vector<NormFlow> normalize(const std::vector<traffic::FlowSpec>& flows,
+                                Rate capacity) {
+  std::vector<NormFlow> result;
+  result.reserve(flows.size());
+  for (const auto& f : flows) {
+    const auto norm = f.normalized(capacity);
+    result.push_back({norm.sigma, norm.rho});
+  }
+  return result;
+}
+
+std::vector<double> sigma_star(const std::vector<NormFlow>& flows) {
+  double min_period = kTimeInfinity;
+  for (const auto& f : flows) {
+    check_rho(f.rho);
+    min_period = std::min(min_period, f.sigma / (f.rho * (1.0 - f.rho)));
+  }
+  std::vector<double> result;
+  result.reserve(flows.size());
+  for (const auto& f : flows) {
+    result.push_back(f.rho * (1.0 - f.rho) * min_period);
+  }
+  return result;
+}
+
+double theorem1_wdb_lambda(const std::vector<NormFlow>& flows) {
+  if (flows.empty()) return 0.0;
+  const auto stars = sigma_star(flows);
+  double sum_term = 0.0;
+  double min_period = kTimeInfinity;
+  double max_residual = 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    sum_term += stars[i] / (1.0 - flows[i].rho);
+    min_period = std::min(min_period,
+                          flows[i].sigma / (flows[i].rho * (1.0 - flows[i].rho)));
+    max_residual =
+        std::max(max_residual, (flows[i].sigma - stars[i]) / flows[i].rho);
+  }
+  return sum_term + 2.0 * min_period + max_residual;
+}
+
+double theorem2_wdb_lambda(int k, double sigma0_norm, double sigma_norm,
+                           double rho_norm) {
+  check_rho(rho_norm);
+  if (k < 1) throw std::invalid_argument("theorem2: k < 1");
+  return static_cast<double>(k) * sigma_norm / (1.0 - rho_norm) +
+         std::max(0.0, sigma0_norm - sigma_norm) / rho_norm +
+         2.0 * lambda_for(rho_norm) * sigma_norm / rho_norm;
+}
+
+double remark1_wdb_plain(const std::vector<NormFlow>& flows) {
+  double sum_sigma = 0.0;
+  double sum_rho = 0.0;
+  for (const auto& f : flows) {
+    sum_sigma += f.sigma;
+    sum_rho += f.rho;
+  }
+  if (sum_rho >= 1.0) return kTimeInfinity;
+  return sum_sigma / (1.0 - sum_rho);
+}
+
+double remark1_wdb_plain(int k, double sigma0_norm, double rho_norm) {
+  if (k < 1) throw std::invalid_argument("remark1: k < 1");
+  const double kr = static_cast<double>(k) * rho_norm;
+  if (kr >= 1.0) return kTimeInfinity;
+  return static_cast<double>(k) * sigma0_norm / (1.0 - kr);
+}
+
+}  // namespace emcast::netcalc

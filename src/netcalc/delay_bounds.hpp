@@ -1,0 +1,60 @@
+#pragma once
+// Worst-case delay bounds for a single regulated end host — Lemma 1,
+// Theorems 1–2 and Remark 1 of the paper.  All inputs are in normalised
+// units (capacity C folded out): σ̂ = σ/C in seconds, ρ̂ = ρ/C in (0, 1).
+// Helpers convert from FlowSpec + capacity.
+
+#include <vector>
+
+#include "traffic/flow_spec.hpp"
+#include "util/types.hpp"
+
+namespace emcast::netcalc {
+
+/// λ = 1/(1−ρ̂) — equation (1): the smallest λ that loses no data, hence
+/// the shortest vacation.
+double lambda_for(double rho_norm);
+
+/// Working period Ŵ = σ̂/(1−ρ̂) [s] of a (σ, ρ, λ) regulator.
+double working_period(double sigma_norm, double rho_norm);
+
+/// Vacation V̂ = σ̂/ρ̂ [s].
+double vacation_period(double sigma_norm, double rho_norm);
+
+/// Regulator period Ŵ + V̂ = λσ̂/ρ̂ [s].
+double regulator_period(double sigma_norm, double rho_norm);
+
+/// Lemma 1: delay bound of a flow R ~ (σ*, ρ) through a (σ, ρ, λ)
+/// regulator: D = (σ*−σ)⁺/ρ + 2λσ/ρ.
+double lemma1_regulator_delay(double sigma_star_norm, double sigma_norm,
+                              double rho_norm);
+
+/// Normalised per-flow view used by the theorem formulas.
+struct NormFlow {
+  double sigma;  ///< σ̂ᵢ
+  double rho;    ///< ρ̂ᵢ
+};
+
+std::vector<NormFlow> normalize(const std::vector<traffic::FlowSpec>& flows,
+                                Rate capacity);
+
+/// σ̂*ᵢ = ρ̂ᵢ(1−ρ̂ᵢ)·min_j σ̂ⱼ/(ρ̂ⱼ(1−ρ̂ⱼ)) (Theorem 1's synchronised bursts).
+std::vector<double> sigma_star(const std::vector<NormFlow>& flows);
+
+/// Theorem 1: WDB of K heterogeneous flows through a (σ*, ρ, λ)-regulated
+/// general MUX:
+///   D̂g = Σᵢ σ̂*ᵢ/(1−ρ̂ᵢ) + 2·minᵢ σ̂ᵢ/(ρ̂ᵢ(1−ρ̂ᵢ)) + maxᵢ (σ̂ᵢ−σ̂*ᵢ)/ρ̂ᵢ.
+double theorem1_wdb_lambda(const std::vector<NormFlow>& flows);
+
+/// Theorem 2: WDB of K homogeneous flows (σ̂0 declared burst, σ̂ regulator
+/// burst): D̂g = Kσ̂/(1−ρ̂) + (σ̂0−σ̂)⁺/ρ̂ + 2λσ̂/ρ̂.
+double theorem2_wdb_lambda(int k, double sigma0_norm, double sigma_norm,
+                           double rho_norm);
+
+/// Remark 1 heterogeneous: Dg = Σσ̂ᵢ / (1 − Σρ̂ᵢ); infinite when unstable.
+double remark1_wdb_plain(const std::vector<NormFlow>& flows);
+
+/// Remark 1 homogeneous: Dg = Kσ̂0 / (1 − Kρ̂).
+double remark1_wdb_plain(int k, double sigma0_norm, double rho_norm);
+
+}  // namespace emcast::netcalc

@@ -1,0 +1,47 @@
+#include "netcalc/dsct_bounds.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace emcast::netcalc {
+
+int lemma2_height_bound(long long n, int k, int j1) {
+  if (n < 1) throw std::invalid_argument("lemma2: n < 1");
+  if (k < 2) throw std::invalid_argument("lemma2: k < 2");
+  if (j1 < 0 || j1 >= k) throw std::invalid_argument("lemma2: j1 ∉ [0,k−1]");
+  if (n == 1) return 1;
+  // ⌈log_k(k + (n − j1)(k − 1))⌉ via exact integer arithmetic.
+  const long long inner =
+      static_cast<long long>(k) + (n - j1) * (static_cast<long long>(k) - 1);
+  return util::ceil_log(inner, k);
+}
+
+namespace {
+int hops(int h_max) {
+  if (h_max < 1) throw std::invalid_argument("multicast bound: Ĥ < 1");
+  return h_max - 1;
+}
+}  // namespace
+
+double theorem7_wdb_lambda(const std::vector<NormFlow>& flows, int h_max) {
+  return static_cast<double>(hops(h_max)) * theorem1_wdb_lambda(flows);
+}
+
+double theorem8_wdb_lambda(int k, double sigma0_norm, double sigma_norm,
+                           double rho_norm, int h_max) {
+  return static_cast<double>(hops(h_max)) *
+         theorem2_wdb_lambda(k, sigma0_norm, sigma_norm, rho_norm);
+}
+
+double remark2_wdb_plain(const std::vector<NormFlow>& flows, int h_max) {
+  return static_cast<double>(hops(h_max)) * remark1_wdb_plain(flows);
+}
+
+double remark2_wdb_plain(int k, double sigma0_norm, double rho_norm,
+                         int h_max) {
+  return static_cast<double>(hops(h_max)) *
+         remark1_wdb_plain(k, sigma0_norm, rho_norm);
+}
+
+}  // namespace emcast::netcalc

@@ -1,0 +1,35 @@
+#pragma once
+// EMcast-level analysis: the DSCT tree height bound (Lemma 2) and the
+// multicast worst-case delay bounds (Theorems 7–8, Remark 2).  Multicast
+// bounds are the single-host bounds of Theorems 1–2 multiplied by the
+// number of overlay hops (Ĥ − 1) on the tallest group tree.
+
+#include <vector>
+
+#include "netcalc/delay_bounds.hpp"
+
+namespace emcast::netcalc {
+
+/// Lemma 2: for a group of n members clustered with minimum cluster size k,
+/// the DSCT tree height is at most ⌈log_k(k + (n − j1)(k − 1))⌉ where
+/// j1 ∈ [0, k−1] counts the leftover members in the lowest layer.
+/// j1 = 0 gives the worst case.
+int lemma2_height_bound(long long n, int k, int j1 = 0);
+
+/// Theorem 7(i): heterogeneous multicast WDB — Theorem 1's bound per hop,
+/// (Ĥ−1) hops on the tallest tree.
+double theorem7_wdb_lambda(const std::vector<NormFlow>& flows, int h_max);
+
+/// Theorem 8(i): homogeneous multicast WDB —
+///   D̂mg = (Ĥ−1)Kσ̂/(1−ρ̂) + (Ĥ−1)(σ̂0−σ̂)⁺/ρ̂ + 2(Ĥ−1)λσ̂/ρ̂.
+double theorem8_wdb_lambda(int k, double sigma0_norm, double sigma_norm,
+                           double rho_norm, int h_max);
+
+/// Remark 2 heterogeneous: Dmg = (Ĥ−1)·Σσ̂ᵢ/(1−Σρ̂ᵢ).
+double remark2_wdb_plain(const std::vector<NormFlow>& flows, int h_max);
+
+/// Remark 2 homogeneous: Dmg = (Ĥ−1)·Kσ̂0/(1−Kρ̂).
+double remark2_wdb_plain(int k, double sigma0_norm, double rho_norm,
+                         int h_max);
+
+}  // namespace emcast::netcalc

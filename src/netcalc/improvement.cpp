@@ -1,0 +1,51 @@
+#include "netcalc/improvement.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::netcalc {
+
+namespace {
+void check(int k, double rho_bar) {
+  if (k < 2) throw std::invalid_argument("improvement: K < 2");
+  if (!(rho_bar > 0.0 && rho_bar < 1.0 / static_cast<double>(k))) {
+    throw std::invalid_argument("improvement: ρ̄ outside (0, 1/K)");
+  }
+}
+}  // namespace
+
+double improvement_lower_bound(int k, double rho_bar) {
+  check(k, rho_bar);
+  const double kd = k;
+  const double numerator = kd * rho_bar * (1.0 - rho_bar);
+  const double denominator =
+      (1.0 - kd * rho_bar) * (3.0 + (kd - 1.0) * rho_bar);
+  return numerator / denominator;
+}
+
+double improvement_exact_homogeneous(int k, double rho_bar) {
+  check(k, rho_bar);
+  const double kd = k;
+  const double plain = kd / (1.0 - kd * rho_bar);
+  const double with_lambda =
+      kd / (1.0 - rho_bar) + 2.0 / (rho_bar * (1.0 - rho_bar));
+  return plain / with_lambda;
+}
+
+double improvement_window_low(int k, int n) {
+  if (k < 2 || n < 1) throw std::invalid_argument("window: bad K or n");
+  const double kd = k;
+  return 1.0 / kd - 1.0 / std::pow(kd, n + 1);
+}
+
+bool improvement_window_valid(int k, int n, double rho_star) {
+  return improvement_window_low(k, n) >= rho_star;
+}
+
+double improvement_theta_reference(int k, int n) {
+  if (k < 2 || n < 1) throw std::invalid_argument("theta: bad K or n");
+  const double kd = k;
+  return (1.0 - std::pow(kd, -n)) * (1.0 - 1.0 / kd) * std::pow(kd, n) / 4.0;
+}
+
+}  // namespace emcast::netcalc

@@ -1,0 +1,31 @@
+#pragma once
+// Worst-case-delay improvement of the (σ, ρ, λ) regulator over the (σ, ρ)
+// regulator — Theorems 5 (heterogeneous) and 6 (homogeneous).  The headline
+// result: when ρ̄ ∈ [1/K − 1/K^{n+1}, 1/K), the ratio Dg/D̂g grows like
+// O(K^n) — the closer the load sits to saturation, the larger the win.
+
+namespace emcast::netcalc {
+
+/// Theorem 5's closed-form lower bound on Dg/D̂g:
+///   Dg/D̂g ≥ K·ρ̄(1−ρ̄) / [(1−Kρ̄)(3+(K−1)ρ̄)].
+/// ρ̄ is the per-flow normalised rate in (0, 1/K).
+double improvement_lower_bound(int k, double rho_bar);
+
+/// The exact ratio of the two bound formulas (Remark 1 over Theorem 2) for
+/// homogeneous flows with σ0 = σ:
+///   Dg/D̂g = [K/(1−Kρ)] / [K/(1−ρ) + 2/(ρ(1−ρ))].
+double improvement_exact_homogeneous(int k, double rho_bar);
+
+/// The load window of Theorems 5/6: ρ̄ ∈ [1/K − 1/K^{n+1}, 1/K) for
+/// exponent n.  Returns the window's lower edge.
+double improvement_window_low(int k, int n);
+
+/// True when the window for exponent n lies inside the control range
+/// (i.e. 1/K − 1/K^{n+1} ≥ ρ*), the applicability condition of Theorem 5.
+bool improvement_window_valid(int k, int n, double rho_star);
+
+/// The paper's asymptotic statement: at ρ̄ = 1/K − 1/K^{n+1} the bound is
+/// ≥ (1−1/Kⁿ)(1−1/K)·Kⁿ/4 = Θ(Kⁿ).  Exposed for tests/benches.
+double improvement_theta_reference(int k, int n);
+
+}  // namespace emcast::netcalc

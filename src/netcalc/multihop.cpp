@@ -1,0 +1,51 @@
+#include "netcalc/multihop.hpp"
+
+#include <stdexcept>
+
+namespace emcast::netcalc {
+
+double output_burstiness(double sigma_norm, double rho_norm,
+                         double delay_bound) {
+  if (sigma_norm < 0 || rho_norm <= 0 || delay_bound < 0) {
+    throw std::invalid_argument("output_burstiness: bad arguments");
+  }
+  return sigma_norm + rho_norm * delay_bound;
+}
+
+std::vector<double> multihop_plain_reshaped(const std::vector<NormFlow>& flows,
+                                            int hops) {
+  if (hops < 1) throw std::invalid_argument("multihop: hops < 1");
+  const double per_hop = remark1_wdb_plain(flows);
+  return std::vector<double>(static_cast<std::size_t>(hops), per_hop);
+}
+
+std::vector<double> multihop_plain_unshaped(std::vector<NormFlow> flows,
+                                            int hops) {
+  if (hops < 1) throw std::invalid_argument("multihop: hops < 1");
+  std::vector<double> delays;
+  delays.reserve(static_cast<std::size_t>(hops));
+  for (int h = 0; h < hops; ++h) {
+    const double d = remark1_wdb_plain(flows);
+    if (!(d < kTimeInfinity)) {
+      throw std::invalid_argument("multihop_plain_unshaped: unstable chain");
+    }
+    delays.push_back(d);
+    // Every flow's burst grows by its own share of the hop delay.
+    for (auto& f : flows) {
+      f.sigma = output_burstiness(f.sigma, f.rho, d);
+    }
+  }
+  return delays;
+}
+
+MultihopComparison compare_multihop(const std::vector<NormFlow>& flows,
+                                    int hops) {
+  MultihopComparison c;
+  for (double d : multihop_plain_reshaped(flows, hops)) c.reshaped_total += d;
+  for (double d : multihop_plain_unshaped(flows, hops)) c.unshaped_total += d;
+  c.amplification =
+      c.reshaped_total > 0 ? c.unshaped_total / c.reshaped_total : 1.0;
+  return c;
+}
+
+}  // namespace emcast::netcalc

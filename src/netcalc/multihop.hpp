@@ -1,0 +1,48 @@
+#pragma once
+// Multi-hop composition of the single-hop bounds — and why the paper's
+// per-hop re-regulation matters.
+//
+// Cruz's output-burstiness lemma: a flow (σ, ρ) served with delay bound D
+// leaves the server conforming to (σ + ρD, ρ).  Without re-shaping, the
+// burst grows hop by hop and per-hop delays compound super-linearly.  The
+// paper's EMcast model re-regulates at *every* end host, which restores
+// the (σ, ρ) envelope per hop and makes the multicast bound exactly
+// (Ĥ−1) × the single-hop bound (Theorems 7/8).  These helpers quantify
+// both compositions so tests/benches can show the gap.
+
+#include <vector>
+
+#include "netcalc/delay_bounds.hpp"
+
+namespace emcast::netcalc {
+
+/// Cruz: burstiness of the departure process of a (σ, ρ) flow through an
+/// element with delay bound D.
+double output_burstiness(double sigma_norm, double rho_norm,
+                         double delay_bound);
+
+/// Per-hop delays across `hops` identical (σ, ρ)-regulated general MUXs
+/// *with* per-hop re-regulation (the paper's model): every hop sees the
+/// original envelope, so each hop contributes the same Remark-1 bound.
+/// Returns the per-hop delay sequence (all equal).
+std::vector<double> multihop_plain_reshaped(const std::vector<NormFlow>& flows,
+                                            int hops);
+
+/// The same chain *without* re-shaping: each hop's input burstiness is the
+/// previous hop's output burstiness (σ ← σ + ρ·D).  Returns the per-hop
+/// delay sequence (strictly growing while stable); throws if the chain is
+/// unstable (Σρ̂ ≥ 1).
+std::vector<double> multihop_plain_unshaped(std::vector<NormFlow> flows,
+                                            int hops);
+
+/// Totals of the two compositions; `unshaped_total / reshaped_total ≥ 1`
+/// quantifies the value of hop-by-hop regulation.
+struct MultihopComparison {
+  double reshaped_total = 0;
+  double unshaped_total = 0;
+  double amplification = 1.0;  ///< unshaped / reshaped
+};
+MultihopComparison compare_multihop(const std::vector<NormFlow>& flows,
+                                    int hops);
+
+}  // namespace emcast::netcalc

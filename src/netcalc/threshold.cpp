@@ -1,0 +1,93 @@
+#include "netcalc/threshold.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace emcast::netcalc {
+
+namespace {
+void check_k(int k) {
+  if (k < 2) throw std::invalid_argument("rho_star: requires K >= 2");
+}
+
+double positive_root_in(double lo, double hi,
+                        const std::vector<double>& roots) {
+  for (double r : roots) {
+    if (r > lo && r < hi) return r;
+  }
+  throw std::runtime_error("rho_star: no root inside (0, 1/K)");
+}
+}  // namespace
+
+double g1(int k, double rho_bar) {
+  return static_cast<double>(k) / (1.0 - rho_bar) +
+         2.0 / (rho_bar * (1.0 - rho_bar)) + 1.0 / rho_bar;
+}
+
+double g2(int k, double rho_bar) {
+  const double kr = static_cast<double>(k) * rho_bar;
+  if (kr >= 1.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(k) / (1.0 - kr);
+}
+
+double rho_star_heterogeneous(int k) {
+  check_k(k);
+  const double kd = k;
+  // (K²−2K)ρ² + (3K+1)ρ − 3 = 0.  K=2 degenerates to linear: 7ρ−3=0.
+  const auto roots =
+      util::solve_quadratic(kd * kd - 2.0 * kd, 3.0 * kd + 1.0, -3.0);
+  return positive_root_in(0.0, 1.0 / kd, roots);
+}
+
+double rho_star_homogeneous(int k) {
+  check_k(k);
+  const double kd = k;
+  // Setting D̂g = Dg with σ0 = σ:
+  //   K/(1−ρ) + 2/(ρ(1−ρ)) = K/(1−Kρ)  ⇒  (K²−K)ρ² + 2Kρ − 2 = 0.
+  const auto roots = util::solve_quadratic(kd * kd - kd, 2.0 * kd, -2.0);
+  return positive_root_in(0.0, 1.0 / kd, roots);
+}
+
+std::optional<double> rho_star_numeric(int k, bool heterogeneous) {
+  check_k(k);
+  const double hi = 1.0 / static_cast<double>(k);
+  auto diff = [k, heterogeneous](double rho) {
+    const double lhs =
+        heterogeneous
+            ? g1(k, rho)
+            // Homogeneous comparison drops the heterogeneity penalty 1/ρ̄
+            // (paper's (σ0−σ)⁺ term is zero when σ0 = σ):
+            : static_cast<double>(k) / (1.0 - rho) +
+                  2.0 / (rho * (1.0 - rho));
+    return lhs - g2(k, rho);
+  };
+  // g1 → +∞ at both ends faster than g2 near 0; g2 → +∞ at 1/K.  Bracket
+  // inside the open interval.
+  const double lo = hi * 1e-6;
+  const double hi_in = hi * (1.0 - 1e-9);
+  return util::bisect(diff, lo, hi_in, {1e-14, 500});
+}
+
+double control_range_ratio(double rho_star, int k) {
+  return 1.0 - static_cast<double>(k) * rho_star;
+}
+
+double control_range_limit_heterogeneous() {
+  return (5.0 - std::sqrt(21.0)) / 2.0;
+}
+
+double control_range_limit_homogeneous() { return 2.0 - std::sqrt(3.0); }
+
+double utilization_threshold_heterogeneous(int k) {
+  return static_cast<double>(k) * rho_star_heterogeneous(k);
+}
+
+double utilization_threshold_homogeneous(int k) {
+  return static_cast<double>(k) * rho_star_homogeneous(k);
+}
+
+}  // namespace emcast::netcalc

@@ -1,0 +1,49 @@
+#pragma once
+// The input-rate threshold ρ* — Theorems 3 (heterogeneous) and 4
+// (homogeneous).  ρ* is the per-flow average rate at which the (σ, ρ, λ)
+// regulator's WDB drops below the plain (σ, ρ) regulator's; the adaptive
+// control algorithm switches models there.
+//
+// Conventions: ρ̄ here is the *per-flow* normalised average rate (the
+// paper's ρ̄ ∈ (0, 1/K)).  The figures in Section VI plot the *total*
+// utilisation K·ρ̄, so helpers expose both.
+
+#include <optional>
+
+namespace emcast::netcalc {
+
+/// g1(ρ̄) — σ-normalised WDB coefficient of the (σ, ρ, λ)-regulated MUX
+/// (paper eq. (9)): K/(1−ρ̄) + 2/(ρ̄(1−ρ̄)) + 1/ρ̄.
+double g1(int k, double rho_bar);
+
+/// g2(ρ̄) — σ-normalised WDB coefficient of the (σ, ρ)-regulated MUX:
+/// K/(1−Kρ̄).
+double g2(int k, double rho_bar);
+
+/// Theorem 3 (heterogeneous): ρ* is the unique positive root of
+/// (K²−2K)ρ̄² + (3K+1)ρ̄ − 3 = 0 in (0, 1/K).  Requires K ≥ 2 (K = 2 makes
+/// the quadratic degenerate — handled).
+double rho_star_heterogeneous(int k);
+
+/// Theorem 4 (homogeneous): ρ* solves K/(1−ρ) + 2/(ρ(1−ρ)) = K/(1−Kρ),
+/// i.e. (K²−K)ρ² + 2Kρ − 2 = 0.
+double rho_star_homogeneous(int k);
+
+/// Generic ρ*: bisection on g1 − g2 over (0, 1/K); cross-validates the
+/// closed forms and covers modified g's in ablations.
+std::optional<double> rho_star_numeric(int k, bool heterogeneous);
+
+/// Control-range ratio (1/K − ρ*)/(1/K) = 1 − Kρ*.
+double control_range_ratio(double rho_star, int k);
+
+/// Asymptotic control-range ratios (Theorems 3(ii)/4(ii)):
+/// heterogeneous → (5−√21)/2 ≈ 0.2087, homogeneous → 2−√3 ≈ 0.2679.
+double control_range_limit_heterogeneous();
+double control_range_limit_homogeneous();
+
+/// Total-utilisation thresholds K·ρ* — what the Section VI figures call the
+/// rate threshold (0.79·C / 0.73·C asymptotically).
+double utilization_threshold_heterogeneous(int k);
+double utilization_threshold_homogeneous(int k);
+
+}  // namespace emcast::netcalc

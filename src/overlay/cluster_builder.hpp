@@ -1,0 +1,72 @@
+#pragma once
+// Hierarchical RTT-based clustering — the machinery shared by DSCT and
+// NICE.  Starting from all members in the lowest layer, members are
+// greedily grouped into clusters of a configurable size range; each cluster
+// elects a core (the RTT medoid), cores form the next layer, and the
+// process repeats until one member remains: the hierarchy root.
+//
+// Cluster sizes are drawn per cluster from [min_size, max_size] — the
+// paper's s_ina / s_ine ∈ [k, 3k−1] with k = 3 — which is the randomness
+// the paper blames for run-to-run height variation.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "overlay/tree.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace emcast::overlay {
+
+/// RTT oracle between two members (by member index).
+using RttFn = std::function<Time(std::size_t, std::size_t)>;
+
+struct ClusterConfig {
+  std::size_t min_size = 3;   ///< k
+  std::size_t max_size = 8;   ///< 3k−1
+  /// Pick cluster seeds uniformly at random (NICE-style incremental joins)
+  /// instead of deterministically by lowest index (DSCT-style ordered
+  /// assignment within a located domain).
+  bool random_seeds = false;
+  /// Optional per-member forwarding budget (remaining child slots), shared
+  /// across trees.  Capacity-aware schemes bound every host's *total*
+  /// fan-out by ⌊C_host/ρ⌋ (Fig. 1); when set, core election prefers
+  /// members with enough remaining budget and decrements it.  nullptr
+  /// disables budgeting (the regulated schemes control traffic instead).
+  std::vector<std::size_t>* budget = nullptr;
+};
+
+struct Cluster {
+  std::vector<std::size_t> members;  ///< member indices (includes core)
+  std::size_t core = 0;              ///< member index of the elected core
+};
+
+/// One clustering pass: partition `ids` into clusters of the configured
+/// size and elect cores.  `ids` are member indices into the group.
+std::vector<Cluster> cluster_once(const std::vector<std::size_t>& ids,
+                                  const RttFn& rtt, const ClusterConfig& cfg,
+                                  util::Rng& rng);
+
+/// Result of a full hierarchy construction.
+struct Hierarchy {
+  /// layer[l] = clusters formed at layer l (layer 0 = lowest).
+  std::vector<std::vector<Cluster>> layers;
+  std::size_t top = 0;  ///< member index of the hierarchy root
+  /// Number of layers including the singleton top layer — the paper's
+  /// "tree layer number".
+  int layer_count() const { return static_cast<int>(layers.size()) + 1; }
+};
+
+/// Build the full hierarchy over `ids` (must be non-empty).
+Hierarchy build_hierarchy(const std::vector<std::size_t>& ids,
+                          const RttFn& rtt, const ClusterConfig& cfg,
+                          util::Rng& rng);
+
+/// Convert a hierarchy to tree parent pointers: every non-core cluster
+/// member's parent is its cluster core; a core's parent comes from the
+/// next layer up.  Writes into `parent` (member-index space, npos = root).
+void hierarchy_to_parents(const Hierarchy& h,
+                          std::vector<std::size_t>& parent);
+
+}  // namespace emcast::overlay

@@ -1,0 +1,77 @@
+#include "overlay/dsct.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace emcast::overlay {
+
+void reroot(std::vector<std::size_t>& parent, std::size_t new_root) {
+  std::size_t current = new_root;
+  std::size_t carried = MulticastTree::npos;
+  while (current != MulticastTree::npos) {
+    const std::size_t next = parent[current];
+    parent[current] = carried;
+    carried = current;
+    current = next;
+  }
+}
+
+MulticastTree build_dsct(std::vector<Member> members,
+                         const std::vector<int>& domain, const RttFn& rtt,
+                         std::size_t source, const DsctConfig& config) {
+  const std::size_t n = members.size();
+  if (n == 0) throw std::invalid_argument("build_dsct: no members");
+  if (domain.size() != n) {
+    throw std::invalid_argument("build_dsct: domain size mismatch");
+  }
+  if (source >= n) throw std::invalid_argument("build_dsct: bad source");
+
+  util::Rng rng(config.seed);
+  ClusterConfig cluster_cfg;
+  cluster_cfg.min_size =
+      config.min_size_override ? config.min_size_override : config.k;
+  cluster_cfg.max_size = config.max_size_override ? config.max_size_override
+                                                  : 3 * config.k - 1;
+  cluster_cfg.random_seeds = false;  // ordered, location-coherent assignment
+  cluster_cfg.budget = config.budget;
+
+  // 1. Partition into local domains.
+  std::map<int, std::vector<std::size_t>> domains;
+  for (std::size_t i = 0; i < n; ++i) domains[domain[i]].push_back(i);
+
+  std::vector<std::size_t> parent(n, MulticastTree::npos);
+
+  // 2. Intra-domain hierarchies.
+  std::vector<std::size_t> local_cores;
+  int max_intra_layers = 0;
+  for (auto& [id, ids] : domains) {
+    (void)id;
+    auto h = build_hierarchy(ids, rtt, cluster_cfg, rng);
+    hierarchy_to_parents(h, parent);
+    local_cores.push_back(h.top);
+    max_intra_layers =
+        std::max(max_intra_layers, static_cast<int>(h.layers.size()));
+  }
+
+  // 3. Inter-domain hierarchy over the local cores.
+  int inter_layers = 0;
+  std::size_t top = local_cores.front();
+  if (local_cores.size() > 1) {
+    auto h = build_hierarchy(local_cores, rtt, cluster_cfg, rng);
+    hierarchy_to_parents(h, parent);
+    top = h.top;
+    inter_layers = static_cast<int>(h.layers.size());
+  }
+  (void)top;
+
+  // The construction's layer count: intra layers + inter layers + the
+  // singleton top layer (the paper counts L1..Ll inclusive).
+  const int layers = max_intra_layers + inter_layers + 1;
+
+  // 4. Re-root at the source member.
+  reroot(parent, source);
+  return MulticastTree(std::move(members), std::move(parent), source, layers);
+}
+
+}  // namespace emcast::overlay

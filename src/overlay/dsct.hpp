@@ -1,0 +1,46 @@
+#pragma once
+// DSCT tree construction ([14], as specified by Section V of the paper):
+// a location-aware hierarchy-and-cluster architecture.
+//
+//  1. Members are partitioned into *local domains* — one per backbone
+//     router they attach to.
+//  2. Inside each domain, the closest s_ina members (s_ina random in
+//     [k, 3k−1]) form an "intra-cluster"; each cluster elects a core that
+//     joins the layer above; iterating yields the domain's *local core*.
+//  3. The local cores of all domains then form "inter-clusters" of size
+//     s_ine (random in [k, 3k−1]) the same way, up to a single top member.
+//  4. The tree is re-rooted at the group's source member so data flows
+//     source → receivers.
+
+#include <cstdint>
+
+#include "overlay/cluster_builder.hpp"
+#include "overlay/tree.hpp"
+
+namespace emcast::overlay {
+
+struct DsctConfig {
+  std::size_t k = 3;         ///< minimum cluster size (paper sets 3)
+  std::uint64_t seed = 7;    ///< drives the random cluster sizes
+  /// Override the cluster size range (used by the capacity-aware variant);
+  /// when zero, the range is [k, 3k−1].
+  std::size_t min_size_override = 0;
+  std::size_t max_size_override = 0;
+  /// Optional shared per-member fan-out budget (see ClusterConfig::budget).
+  std::vector<std::size_t>* budget = nullptr;
+};
+
+/// Build a DSCT tree.
+///  members:  the group's members (index order defines member ids)
+///  domain:   domain[i] = local-domain id of member i (attachment router)
+///  rtt:      member-to-member RTT oracle
+///  source:   member index of the group's traffic source (tree root)
+MulticastTree build_dsct(std::vector<Member> members,
+                         const std::vector<int>& domain, const RttFn& rtt,
+                         std::size_t source, const DsctConfig& config);
+
+/// Re-root a parent vector at `new_root` by reversing the pointers on the
+/// old-root → new_root path.  Shared by all builders.
+void reroot(std::vector<std::size_t>& parent, std::size_t new_root);
+
+}  // namespace emcast::overlay

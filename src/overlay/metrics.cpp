@@ -1,0 +1,64 @@
+#include "overlay/metrics.hpp"
+
+#include <algorithm>
+
+#include "topology/shortest_path.hpp"
+
+namespace emcast::overlay {
+
+TreeMetrics measure_tree(const MulticastTree& tree,
+                         const MultiGroupNetwork& net) {
+  TreeMetrics m;
+  m.hierarchy_layers = tree.hierarchy_layers();
+  m.height_hops = tree.height_hops();
+  m.max_fanout = tree.max_fanout();
+
+  util::OnlineStats depth_stats;
+  util::OnlineStats prop_stats;
+  // Propagation cost accumulates down the tree: cost(child) = cost(parent)
+  // + underlay delay of the overlay edge.
+  std::vector<Time> cost(tree.size(), 0.0);
+  for (std::size_t i : tree.bfs_order()) {
+    if (i != tree.root()) {
+      const std::size_t p = tree.parent(i);
+      cost[i] = cost[p] + net.member_delay(p, i);
+      depth_stats.add(tree.depth(i));
+      prop_stats.add(cost[i]);
+    }
+  }
+  m.mean_depth = depth_stats.mean();
+  m.max_path_propagation = prop_stats.count() ? prop_stats.max() : 0.0;
+  m.mean_path_propagation = prop_stats.mean();
+  return m;
+}
+
+LinkStress measure_link_stress(const MulticastTree& tree,
+                               const topology::Graph& graph) {
+  LinkStress stress;
+  // Cache shortest-path trees per distinct parent node.
+  std::map<NodeId, topology::ShortestPathTree> sp_cache;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (i == tree.root()) continue;
+    const NodeId from = tree.member(tree.parent(i)).node;
+    const NodeId to = tree.member(i).node;
+    auto it = sp_cache.find(from);
+    if (it == sp_cache.end()) {
+      it = sp_cache.emplace(from, topology::dijkstra(graph, from)).first;
+    }
+    const auto path = topology::extract_path(it->second, from, to);
+    for (std::size_t h = 1; h < path.size(); ++h) {
+      auto key = std::minmax(path[h - 1], path[h]);
+      ++stress.per_link[{key.first, key.second}];
+    }
+  }
+  util::OnlineStats s;
+  for (const auto& [link, count] : stress.per_link) {
+    (void)link;
+    s.add(static_cast<double>(count));
+    stress.max_stress = std::max(stress.max_stress, count);
+  }
+  stress.mean_stress = s.mean();
+  return stress;
+}
+
+}  // namespace emcast::overlay

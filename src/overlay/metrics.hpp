@@ -1,0 +1,41 @@
+#pragma once
+// Structural tree metrics: heights, depths, fan-out, path propagation cost
+// and underlay link stress — the non-delay EMcast quality measures the
+// paper mentions alongside the WDB ("like tree stability and link stress").
+
+#include <map>
+#include <utility>
+
+#include "overlay/multigroup.hpp"
+#include "overlay/tree.hpp"
+#include "topology/graph.hpp"
+#include "util/stats.hpp"
+
+namespace emcast::overlay {
+
+struct TreeMetrics {
+  int hierarchy_layers = 0;  ///< construction layers (Tables I–III)
+  int height_hops = 0;       ///< overlay hops root → deepest member
+  double mean_depth = 0;     ///< average member depth [hops]
+  std::size_t max_fanout = 0;
+  Time max_path_propagation = 0;  ///< worst root→member underlay delay sum
+  double mean_path_propagation = 0;
+};
+
+/// Compute structural metrics; propagation costs use the network's
+/// host-to-host delay matrix.
+TreeMetrics measure_tree(const MulticastTree& tree,
+                         const MultiGroupNetwork& net);
+
+/// Underlay link stress: how many overlay edges of `tree` route over each
+/// underlay link (keyed by node pair, smaller id first).  Returns
+/// (max stress, mean stress over used links).
+struct LinkStress {
+  std::size_t max_stress = 0;
+  double mean_stress = 0;
+  std::map<std::pair<NodeId, NodeId>, std::size_t> per_link;
+};
+LinkStress measure_link_stress(const MulticastTree& tree,
+                               const topology::Graph& graph);
+
+}  // namespace emcast::overlay

@@ -1,0 +1,98 @@
+#include "overlay/multigroup.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace emcast::overlay {
+
+const char* to_string(TreeScheme scheme) {
+  switch (scheme) {
+    case TreeScheme::Dsct: return "DSCT";
+    case TreeScheme::Nice: return "NICE";
+    case TreeScheme::CapacityAwareDsct: return "cap-aware DSCT";
+    case TreeScheme::CapacityAwareNice: return "cap-aware NICE";
+  }
+  return "?";
+}
+
+MultiGroupNetwork::MultiGroupNetwork(const topology::AttachedNetwork& net,
+                                     const MultiGroupConfig& config)
+    : net_(&net),
+      delays_(std::make_shared<topology::DelayMatrix>(net.graph)),
+      config_(config) {
+  if (config.groups < 1) {
+    throw std::invalid_argument("MultiGroupNetwork: groups < 1");
+  }
+  const std::size_t n = net.hosts.size();
+  if (n < 2) throw std::invalid_argument("MultiGroupNetwork: too few hosts");
+
+  std::vector<Member> members(n);
+  std::vector<int> domain(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    members[i] = Member{i, net.hosts[i]};
+    domain[i] = static_cast<int>(net.attachment[i]);
+  }
+  RttFn rtt = [this](std::size_t a, std::size_t b) {
+    return member_delay(a, b) * 2.0;
+  };
+
+  util::Rng rng(config.seed);
+  trees_.reserve(static_cast<std::size_t>(config.groups));
+  sources_.reserve(static_cast<std::size_t>(config.groups));
+  // Shared fan-out budget for the capacity-aware schemes: the K trees draw
+  // from the same per-host pool, which is what bounds the uplink load.
+  std::vector<std::size_t> budget;
+  const bool capacity_aware =
+      config_.scheme == TreeScheme::CapacityAwareDsct ||
+      config_.scheme == TreeScheme::CapacityAwareNice;
+  if (capacity_aware) {
+    CapacityAwareConfig probe;
+    probe.utilization = config_.utilization;
+    probe.host_capacity_factor = config_.host_capacity_factor;
+    budget.assign(n, capacity_child_budget(probe, config_.groups));
+  }
+  for (int g = 0; g < config.groups; ++g) {
+    const auto source = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    sources_.push_back(source);
+    const std::uint64_t tree_seed = rng.next();
+    switch (config_.scheme) {
+      case TreeScheme::Dsct: {
+        DsctConfig c{config_.k, tree_seed, 0, 0};
+        trees_.push_back(build_dsct(members, domain, rtt, source, c));
+        break;
+      }
+      case TreeScheme::Nice: {
+        NiceConfig c{config_.k, tree_seed, 0, 0};
+        trees_.push_back(build_nice(members, rtt, source, c));
+        break;
+      }
+      case TreeScheme::CapacityAwareDsct: {
+        CapacityAwareConfig c;
+        c.utilization = config_.utilization;
+        c.host_capacity_factor = config_.host_capacity_factor;
+        c.seed = tree_seed;
+        c.budget = &budget;
+        trees_.push_back(
+            build_capacity_aware_dsct(members, domain, rtt, source, c));
+        break;
+      }
+      case TreeScheme::CapacityAwareNice: {
+        CapacityAwareConfig c;
+        c.utilization = config_.utilization;
+        c.host_capacity_factor = config_.host_capacity_factor;
+        c.seed = tree_seed;
+        c.budget = &budget;
+        trees_.push_back(build_capacity_aware_nice(members, rtt, source, c));
+        break;
+      }
+    }
+  }
+}
+
+Time MultiGroupNetwork::member_delay(std::size_t a, std::size_t b) const {
+  return delays_->at(net_->hosts[a], net_->hosts[b]);
+}
+
+}  // namespace emcast::overlay

@@ -1,0 +1,67 @@
+#pragma once
+// Multi-group overlay assembly: the Simulation-II setting.  All hosts of an
+// attached network join all K groups ("665 end hosts ... who join in 3
+// groups"); each group gets its own tree built by the selected scheme, and
+// every host therefore terminates K̂ = K flows.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "overlay/capacity_aware.hpp"
+#include "overlay/dsct.hpp"
+#include "overlay/nice.hpp"
+#include "overlay/tree.hpp"
+#include "topology/host_attachment.hpp"
+#include "topology/shortest_path.hpp"
+
+namespace emcast::overlay {
+
+enum class TreeScheme {
+  Dsct,               ///< DSCT with fixed [k, 3k−1] clusters (regulated)
+  Nice,               ///< NICE with fixed [k, 3k−1] clusters (regulated)
+  CapacityAwareDsct,  ///< DSCT with load-driven fan-out bound
+  CapacityAwareNice,  ///< NICE with load-driven fan-out bound
+};
+
+const char* to_string(TreeScheme scheme);
+
+struct MultiGroupConfig {
+  int groups = 3;
+  TreeScheme scheme = TreeScheme::Dsct;
+  std::size_t k = 3;
+  /// Only used by the capacity-aware schemes.
+  double utilization = 0.5;
+  double host_capacity_factor = 1.75;
+  std::uint64_t seed = 11;
+};
+
+class MultiGroupNetwork {
+ public:
+  /// Build trees for `config.groups` groups over the hosts of `net`.
+  /// Every host joins every group; sources are distinct random hosts.
+  MultiGroupNetwork(const topology::AttachedNetwork& net,
+                    const MultiGroupConfig& config);
+
+  int groups() const { return static_cast<int>(trees_.size()); }
+  std::size_t host_count() const { return net_->hosts.size(); }
+  const MulticastTree& tree(int group) const { return trees_[static_cast<std::size_t>(group)]; }
+  std::size_t source(int group) const { return sources_[static_cast<std::size_t>(group)]; }
+  const topology::AttachedNetwork& network() const { return *net_; }
+  const topology::DelayMatrix& delays() const { return *delays_; }
+
+  /// One-way underlay propagation delay between two member indices (host
+  /// indices; identical across groups since everyone joins everything).
+  Time member_delay(std::size_t a, std::size_t b) const;
+
+  const MultiGroupConfig& config() const { return config_; }
+
+ private:
+  const topology::AttachedNetwork* net_;
+  std::shared_ptr<topology::DelayMatrix> delays_;
+  MultiGroupConfig config_;
+  std::vector<MulticastTree> trees_;
+  std::vector<std::size_t> sources_;
+};
+
+}  // namespace emcast::overlay

@@ -1,0 +1,37 @@
+#include "overlay/nice.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "overlay/dsct.hpp"  // reroot()
+
+namespace emcast::overlay {
+
+MulticastTree build_nice(std::vector<Member> members, const RttFn& rtt,
+                         std::size_t source, const NiceConfig& config) {
+  const std::size_t n = members.size();
+  if (n == 0) throw std::invalid_argument("build_nice: no members");
+  if (source >= n) throw std::invalid_argument("build_nice: bad source");
+
+  util::Rng rng(config.seed);
+  ClusterConfig cluster_cfg;
+  cluster_cfg.min_size =
+      config.min_size_override ? config.min_size_override : config.k;
+  cluster_cfg.max_size = config.max_size_override ? config.max_size_override
+                                                  : 3 * config.k - 1;
+  cluster_cfg.random_seeds = true;  // incremental joins in random order
+  cluster_cfg.budget = config.budget;
+
+  std::vector<std::size_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  auto h = build_hierarchy(ids, rtt, cluster_cfg, rng);
+
+  std::vector<std::size_t> parent(n, MulticastTree::npos);
+  hierarchy_to_parents(h, parent);
+  const int layers = h.layer_count();
+
+  reroot(parent, source);
+  return MulticastTree(std::move(members), std::move(parent), source, layers);
+}
+
+}  // namespace emcast::overlay

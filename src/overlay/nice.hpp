@@ -1,0 +1,27 @@
+#pragma once
+// NICE-style tree construction ([8]): the same hierarchical clustering as
+// DSCT but *without* the location-aware domain partition — clusters are
+// formed over the whole member set from randomly-seeded incremental joins,
+// which is why NICE paths criss-cross the backbone more and its worst-case
+// delays sit above DSCT's in Fig. 6.
+
+#include <cstdint>
+
+#include "overlay/cluster_builder.hpp"
+#include "overlay/tree.hpp"
+
+namespace emcast::overlay {
+
+struct NiceConfig {
+  std::size_t k = 3;        ///< minimum cluster size
+  std::uint64_t seed = 7;
+  std::size_t min_size_override = 0;
+  std::size_t max_size_override = 0;
+  /// Optional shared per-member fan-out budget (see ClusterConfig::budget).
+  std::vector<std::size_t>* budget = nullptr;
+};
+
+MulticastTree build_nice(std::vector<Member> members, const RttFn& rtt,
+                         std::size_t source, const NiceConfig& config);
+
+}  // namespace emcast::overlay

@@ -1,0 +1,70 @@
+#pragma once
+// Membership churn: repairing a multicast tree when members leave or join
+// without rebuilding the whole hierarchy.  EMcast systems must survive
+// churn (hosts are end users, not routers); the paper defers churn to the
+// underlying DSCT/NICE protocols, so this module implements the standard
+// local-repair rules those protocols use:
+//
+//   leave  — the departed member's children are re-parented onto its own
+//            parent (grandparent splice).  If the root leaves, its closest
+//            child is promoted to root and adopts its siblings.
+//   join   — the newcomer attaches to the RTT-closest member whose fanout
+//            is below a configurable cap (NICE's "join the nearest
+//            non-full cluster" in tree form).
+//
+// Repairs operate on the member-index space of the original group;
+// removed members get a tombstone (alive() == false) so flow wiring stays
+// index-stable across a simulation.
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/cluster_builder.hpp"
+#include "overlay/tree.hpp"
+
+namespace emcast::overlay {
+
+class ChurnTree {
+ public:
+  /// Wrap a freshly-built tree for incremental repair.
+  explicit ChurnTree(const MulticastTree& tree);
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t alive_count() const { return alive_count_; }
+  bool alive(std::size_t i) const { return alive_[i]; }
+  std::size_t root() const { return root_; }
+  std::size_t parent(std::size_t i) const { return parent_[i]; }
+  const std::vector<std::size_t>& children(std::size_t i) const {
+    return children_[i];
+  }
+
+  /// Member `i` leaves; its children are spliced to its parent.  Root
+  /// departure promotes the child with the smallest RTT to the root's
+  /// parent position.  Returns the number of re-parented members.
+  std::size_t leave(std::size_t i, const RttFn& rtt);
+
+  /// Previously-departed member `i` re-joins, attaching to the closest
+  /// alive member with fewer than `max_fanout` children.
+  void join(std::size_t i, const RttFn& rtt, std::size_t max_fanout);
+
+  /// Depth of member i in hops from the root (alive members only).
+  int depth(std::size_t i) const;
+
+  /// Max depth over alive members.
+  int height_hops() const;
+
+  /// Consistency check: every alive member reaches the root through alive
+  /// ancestors, with no cycles.
+  bool valid() const;
+
+ private:
+  void detach_from_parent(std::size_t i);
+
+  std::vector<std::size_t> parent_;
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<bool> alive_;
+  std::size_t root_;
+  std::size_t alive_count_;
+};
+
+}  // namespace emcast::overlay

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::sim {
+
+EventHandle EventQueue::push(Time t, EventFn fn) {
+  if (!std::isfinite(t)) {
+    throw std::invalid_argument("EventQueue::push: non-finite time");
+  }
+  auto block = std::make_shared<EventHandle::Block>();
+  heap_.push_back(Entry{t, next_seq_++, std::move(fn), block});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(std::move(block));
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && heap_.front().block->done) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_dead();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() {
+  drop_dead();
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead();
+  assert(!heap_.empty() && "pop on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  e.block->done = true;  // marks "fired" so late cancel() is a no-op
+  return Fired{e.time, std::move(e.fn)};
+}
+
+}  // namespace emcast::sim

@@ -1,0 +1,85 @@
+#pragma once
+// Pending-event set for the discrete-event engine: a binary min-heap keyed
+// by (time, sequence).  The sequence number makes simultaneous events fire
+// in scheduling order, which keeps simulations deterministic regardless of
+// heap internals.
+//
+// Cancellation is lazy: cancel() flips a flag in the shared control block
+// and pop_due() skips dead entries.  This is O(1) per cancel and avoids
+// heap surgery, at the cost of dead entries lingering until popped — fine
+// for this workload where cancels are rare (regulator rescheduling).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle returned by push(); cancel() is idempotent and safe after fire.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True while the event is scheduled and not cancelled/fired.
+  bool pending() const { return block_ && !block_->done; }
+
+  /// Prevent the event from firing.  No-op if already fired/cancelled.
+  void cancel() {
+    if (block_) block_->done = true;
+  }
+
+ private:
+  friend class EventQueue;
+  struct Block {
+    bool done = false;
+  };
+  explicit EventHandle(std::shared_ptr<Block> b) : block_(std::move(b)) {}
+  std::shared_ptr<Block> block_;
+};
+
+class EventQueue {
+ public:
+  /// Schedule fn at absolute time t.  Times must be finite.
+  EventHandle push(Time t, EventFn fn);
+
+  /// True if no live events remain (dead entries are purged on demand).
+  bool empty();
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  Time next_time();
+
+  /// Pop and return the earliest live event.  Caller checks empty() first.
+  struct Fired {
+    Time time;
+    EventFn fn;
+  };
+  Fired pop();
+
+  std::size_t size_including_dead() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<EventHandle::Block> block;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace emcast::sim

@@ -1,0 +1,42 @@
+#include "sim/fifo_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emcast::sim {
+
+void FifoQueue::push(Packet p) {
+  backlog_bits_ += p.size;
+  peak_backlog_bits_ = std::max(peak_backlog_bits_, backlog_bits_);
+  ++total_enqueued_;
+  packets_.push_back(std::move(p));
+}
+
+const Packet* FifoQueue::front() const {
+  return packets_.empty() ? nullptr : &packets_.front();
+}
+
+Packet FifoQueue::pop() {
+  assert(!packets_.empty());
+  Packet p = std::move(packets_.front());
+  packets_.pop_front();
+  backlog_bits_ -= p.size;
+  if (backlog_bits_ < 0) backlog_bits_ = 0;  // guard float drift
+  return p;
+}
+
+Packet FifoQueue::pop_newest() {
+  assert(!packets_.empty());
+  Packet p = std::move(packets_.back());
+  packets_.pop_back();
+  backlog_bits_ -= p.size;
+  if (backlog_bits_ < 0) backlog_bits_ = 0;
+  return p;
+}
+
+void FifoQueue::clear() {
+  packets_.clear();
+  backlog_bits_ = 0;
+}
+
+}  // namespace emcast::sim

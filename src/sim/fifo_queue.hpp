@@ -1,0 +1,47 @@
+#pragma once
+// Byte-accounted FIFO of packets.  Used as the backlog store inside
+// regulators and multiplexers.  Tracks the peak backlog, which the tests
+// compare against the σ-based backlog bounds from the paper's lemmas.
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "sim/packet.hpp"
+#include "util/types.hpp"
+
+namespace emcast::sim {
+
+class FifoQueue {
+ public:
+  void push(Packet p);
+
+  /// Front packet without removing it; nullopt when empty.
+  const Packet* front() const;
+
+  /// Remove and return the front packet.  Undefined when empty.
+  Packet pop();
+
+  /// Remove and return the *newest* packet (LIFO service).  Used by the
+  /// adversarial general-MUX discipline, where a tagged packet can be
+  /// overtaken even by later packets of its own flow.  Undefined when
+  /// empty.
+  Packet pop_newest();
+
+  bool empty() const { return packets_.empty(); }
+  std::size_t size() const { return packets_.size(); }
+
+  Bits backlog_bits() const { return backlog_bits_; }
+  Bits peak_backlog_bits() const { return peak_backlog_bits_; }
+  std::uint64_t total_enqueued() const { return total_enqueued_; }
+
+  void clear();
+
+ private:
+  std::deque<Packet> packets_;
+  Bits backlog_bits_ = 0;
+  Bits peak_backlog_bits_ = 0;
+  std::uint64_t total_enqueued_ = 0;
+};
+
+}  // namespace emcast::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Point-to-point transmission link: serialises packets at `capacity` and
+// delivers them `propagation` seconds after the last bit leaves.  This is
+// the classic store-and-forward model: departure(p) = max(now, link-free
+// time) + size/capacity, arrival = departure + propagation.
+
+#include <functional>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace emcast::sim {
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  /// capacity in bits/s (> 0), propagation in seconds (>= 0).
+  Link(Simulator& sim, Rate capacity, Time propagation);
+
+  /// Queue the packet for transmission; `deliver` runs at arrival time.
+  void send(Packet p, DeliverFn deliver);
+
+  Rate capacity() const { return capacity_; }
+  Time propagation() const { return propagation_; }
+
+  /// Instantaneous transmission backlog (time until the link is free).
+  Time busy_until() const { return busy_until_; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  Simulator& sim_;
+  Rate capacity_;
+  Time propagation_;
+  Time busy_until_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace emcast::sim

@@ -1,0 +1,6 @@
+#include "sim/packet.hpp"
+
+// Packet is a plain aggregate; this translation unit exists so the header
+// participates in the library build (and future non-inline helpers have a
+// home).
+namespace emcast::sim {}

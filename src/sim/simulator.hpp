@@ -1,0 +1,44 @@
+#pragma once
+// The simulation kernel: a virtual clock driving the event queue.
+// Components hold a Simulator& and schedule callbacks; there is no global
+// state, so many simulations run concurrently on different threads (one
+// Simulator per sweep point).
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace emcast::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedule fn at now()+delay (delay >= 0).
+  EventHandle schedule_in(Time delay, EventFn fn);
+
+  /// Schedule fn at absolute time t >= now().
+  EventHandle schedule_at(Time t, EventFn fn);
+
+  /// Run until the event queue drains or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::uint64_t run(Time until = kTimeInfinity);
+
+  /// Request run() to return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0.0;
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace emcast::sim

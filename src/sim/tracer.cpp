@@ -1,0 +1,24 @@
+#include "sim/tracer.hpp"
+
+namespace emcast::sim {
+
+void DelayTracer::record(const Packet& p, Time now) {
+  record_delay(p.flow, p.age(now), now);
+}
+
+void DelayTracer::record_delay(FlowId flow, Time delay, Time now) {
+  if (now < warmup_) {
+    ++dropped_warmup_;
+    return;
+  }
+  all_.add(delay);
+  per_flow_[flow].add(delay);
+}
+
+const util::OnlineStats& DelayTracer::flow(FlowId f) const {
+  static const util::OnlineStats kEmpty;
+  auto it = per_flow_.find(f);
+  return it == per_flow_.end() ? kEmpty : it->second;
+}
+
+}  // namespace emcast::sim

@@ -1,0 +1,44 @@
+#pragma once
+// Delay measurement.  A DelayTracer sits at a measurement point (MUX exit,
+// multicast receiver) and records each packet's age.  Samples inside the
+// warm-up window are discarded so transient start-up behaviour does not
+// pollute the worst-case statistic, mirroring standard ns-2 methodology.
+
+#include <map>
+
+#include "sim/packet.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace emcast::sim {
+
+class DelayTracer {
+ public:
+  explicit DelayTracer(Time warmup = 0.0) : warmup_(warmup) {}
+
+  /// Adjust the warm-up horizon (samples before it are discarded).
+  void set_warmup(Time t) { warmup_ = t; }
+  Time warmup() const { return warmup_; }
+
+  /// Record the end-to-end delay of `p` observed at time `now`.
+  void record(const Packet& p, Time now);
+
+  /// Record an explicit delay value (for per-hop components).
+  void record_delay(FlowId flow, Time delay, Time now);
+
+  Time worst_case() const { return all_.count() ? all_.max() : 0.0; }
+  const util::OnlineStats& all() const { return all_; }
+
+  /// Per-flow breakdown (flows never seen return empty stats).
+  const util::OnlineStats& flow(FlowId f) const;
+
+  std::uint64_t dropped_warmup() const { return dropped_warmup_; }
+
+ private:
+  Time warmup_;
+  util::OnlineStats all_;
+  std::map<FlowId, util::OnlineStats> per_flow_;
+  std::uint64_t dropped_warmup_ = 0;
+};
+
+}  // namespace emcast::sim

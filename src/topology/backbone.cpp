@@ -1,0 +1,27 @@
+#include "topology/backbone.hpp"
+
+namespace emcast::topology {
+
+Graph make_fig5_backbone(const BackboneConfig& config) {
+  Graph g(kBackboneRouterCount);
+  struct E {
+    NodeId a, b;
+    double delay_ms;
+  };
+  // Re-drawing of Fig. 5: a sparse partial mesh with a denser core.
+  static constexpr E kEdges[] = {
+      {0, 1, 12},  {0, 2, 18},  {1, 3, 9},   {1, 4, 14},  {2, 4, 11},
+      {2, 5, 21},  {3, 6, 8},   {4, 6, 10},  {4, 7, 7},   {5, 7, 16},
+      {5, 8, 13},  {6, 9, 12},  {7, 9, 6},   {7, 10, 15}, {8, 10, 9},
+      {8, 11, 22}, {9, 12, 11}, {10, 12, 8}, {10, 13, 17},{11, 13, 12},
+      {12, 14, 10},{13, 15, 14},{14, 15, 9}, {14, 16, 19},{15, 17, 13},
+      {16, 17, 7}, {16, 18, 11},{17, 18, 8}, {3, 4, 13},  {9, 10, 10},
+  };
+  for (const E& e : kEdges) {
+    g.add_edge(e.a, e.b, e.delay_ms * 1e-3 * config.delay_scale,
+               config.link_capacity);
+  }
+  return g;
+}
+
+}  // namespace emcast::topology

@@ -1,0 +1,75 @@
+#include "topology/generators.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace emcast::topology {
+
+Graph make_waxman(const WaxmanConfig& config) {
+  if (config.nodes < 2) throw std::invalid_argument("make_waxman: nodes < 2");
+  util::Rng rng(config.seed);
+  const std::size_t n = config.nodes;
+
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(0.0, config.plane_size_ms);
+    y[i] = rng.uniform(0.0, config.plane_size_ms);
+  }
+  auto dist_ms = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const double l_max = config.plane_size_ms * std::numbers::sqrt2;
+
+  Graph g(n);
+  // Random spanning tree first (connectivity guarantee): attach each node
+  // i>0 to a uniformly random previous node.
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+               std::max(dist_ms(i, j), 1.0) * 1e-3, config.link_capacity);
+  }
+  // Waxman probability edges on the remaining pairs.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (g.has_edge(static_cast<NodeId>(a), static_cast<NodeId>(b))) continue;
+      const double d = dist_ms(a, b);
+      const double p = config.beta * std::exp(-d / (config.alpha * l_max));
+      if (rng.uniform() < p) {
+        g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                   std::max(d, 1.0) * 1e-3, config.link_capacity);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_ring_lattice(const RingLatticeConfig& config) {
+  if (config.nodes < 3) {
+    throw std::invalid_argument("make_ring_lattice: nodes < 3");
+  }
+  if (config.neighbors == 0 || config.neighbors >= config.nodes / 2 + 1) {
+    throw std::invalid_argument("make_ring_lattice: bad neighbor count");
+  }
+  Graph g(config.nodes);
+  const auto n = static_cast<std::int64_t>(config.nodes);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::size_t k = 1; k <= config.neighbors; ++k) {
+      const auto j = static_cast<NodeId>((i + static_cast<std::int64_t>(k)) % n);
+      if (!g.has_edge(static_cast<NodeId>(i), j)) {
+        g.add_edge(static_cast<NodeId>(i), j,
+                   config.hop_delay_ms * 1e-3 * static_cast<double>(k),
+                   config.link_capacity);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace emcast::topology

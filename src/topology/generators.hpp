@@ -1,0 +1,35 @@
+#pragma once
+// Synthetic topology generators beyond the fixed Fig. 5 backbone.  Used by
+// robustness tests and the ablation benches to check that the paper's
+// qualitative results are not an artefact of one particular backbone.
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+
+namespace emcast::topology {
+
+struct WaxmanConfig {
+  std::size_t nodes = 20;
+  double alpha = 0.4;        ///< Waxman long-edge likelihood
+  double beta = 0.4;         ///< Waxman edge-density parameter
+  double plane_size_ms = 30; ///< coordinates drawn in [0, plane]² (delay ms)
+  Rate link_capacity = 100e6;
+  std::uint64_t seed = 1;
+};
+
+/// Classic Waxman random graph on a delay plane; extra edges are added from
+/// a random spanning tree so the result is always connected.
+Graph make_waxman(const WaxmanConfig& config);
+
+struct RingLatticeConfig {
+  std::size_t nodes = 20;
+  std::size_t neighbors = 2;   ///< connect to this many neighbours each side
+  double hop_delay_ms = 10.0;
+  Rate link_capacity = 100e6;
+};
+
+/// Deterministic ring lattice (regular topology control case).
+Graph make_ring_lattice(const RingLatticeConfig& config);
+
+}  // namespace emcast::topology

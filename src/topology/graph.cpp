@@ -1,0 +1,64 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace emcast::topology {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::check_node(NodeId n) const {
+  if (n < 0 || static_cast<std::size_t>(n) >= adjacency_.size()) {
+    throw std::out_of_range("Graph: node id out of range");
+  }
+}
+
+void Graph::add_edge(NodeId a, NodeId b, Time delay, Rate capacity) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("Graph: self-loop");
+  if (delay < 0.0) throw std::invalid_argument("Graph: negative delay");
+  if (capacity <= 0.0) throw std::invalid_argument("Graph: capacity <= 0");
+  adjacency_[static_cast<std::size_t>(a)].push_back(Edge{b, delay, capacity});
+  adjacency_[static_cast<std::size_t>(b)].push_back(Edge{a, delay, capacity});
+  ++edge_count_;
+}
+
+const std::vector<Edge>& Graph::neighbors(NodeId n) const {
+  check_node(n);
+  return adjacency_[static_cast<std::size_t>(n)];
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& nbrs = adjacency_[static_cast<std::size_t>(a)];
+  return std::any_of(nbrs.begin(), nbrs.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(e.to)]) {
+        seen[static_cast<std::size_t>(e.to)] = true;
+        ++visited;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace emcast::topology

@@ -1,0 +1,49 @@
+#pragma once
+// Undirected weighted graph used for the underlay (routers + access links).
+// Edge weights are one-way propagation delays in seconds; link capacities
+// are kept alongside for the capacity-aware schemes.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::topology {
+
+struct Edge {
+  NodeId to;
+  Time delay;       ///< one-way propagation delay [s]
+  Rate capacity;    ///< link capacity [bit/s]
+};
+
+class Graph {
+ public:
+  explicit Graph(std::size_t nodes = 0) : adjacency_(nodes) {}
+
+  NodeId add_node();
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Add an undirected edge; throws on self-loops or bad endpoints.
+  void add_edge(NodeId a, NodeId b, Time delay, Rate capacity);
+
+  const std::vector<Edge>& neighbors(NodeId n) const;
+
+  /// True if an (a,b) edge exists.
+  bool has_edge(NodeId a, NodeId b) const;
+
+  /// Degree of node n.
+  std::size_t degree(NodeId n) const { return neighbors(n).size(); }
+
+  /// True when every node can reach every other (BFS).
+  bool connected() const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace emcast::topology

@@ -1,0 +1,24 @@
+#include "topology/host_attachment.hpp"
+
+namespace emcast::topology {
+
+AttachedNetwork attach_hosts(const Graph& backbone,
+                             const HostAttachmentConfig& config) {
+  AttachedNetwork net{backbone, backbone.node_count(), {}, {}};
+  util::Rng rng(config.seed);
+  net.hosts.reserve(config.host_count);
+  net.attachment.reserve(config.host_count);
+  for (std::size_t i = 0; i < config.host_count; ++i) {
+    const NodeId host = net.graph.add_node();
+    const auto router = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(net.router_count) - 1));
+    const Time delay =
+        rng.uniform(config.min_delay_ms, config.max_delay_ms) * 1e-3;
+    net.graph.add_edge(host, router, delay, config.access_capacity);
+    net.hosts.push_back(host);
+    net.attachment.push_back(router);
+  }
+  return net;
+}
+
+}  // namespace emcast::topology

@@ -1,0 +1,39 @@
+#pragma once
+// End-host attachment: extends a backbone graph with access links so that
+// the 665 group members of Simulation II "directly or indirectly ... attach
+// to the routers in the backbone network".  Hosts get last-mile access
+// links with smaller capacity and a short random delay; the attachment
+// router defines the host's *local domain* for DSCT.
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace emcast::topology {
+
+struct HostAttachmentConfig {
+  std::size_t host_count = 665;
+  Rate access_capacity = 10e6;      ///< 10 Mbit/s access links
+  double min_delay_ms = 0.5;        ///< access-link propagation delay range
+  double max_delay_ms = 5.0;
+  std::uint64_t seed = 42;
+};
+
+struct AttachedNetwork {
+  Graph graph;                      ///< backbone + hosts
+  std::size_t router_count = 0;     ///< nodes [0, router_count) are routers
+  std::vector<NodeId> hosts;        ///< node ids of the end hosts
+  std::vector<NodeId> attachment;   ///< hosts[i] attaches to attachment[i]
+
+  bool is_router(NodeId n) const {
+    return static_cast<std::size_t>(n) < router_count;
+  }
+};
+
+/// Attach `host_count` hosts uniformly at random across the routers of
+/// `backbone` (each host by one access link).
+AttachedNetwork attach_hosts(const Graph& backbone,
+                             const HostAttachmentConfig& config);
+
+}  // namespace emcast::topology

@@ -1,0 +1,61 @@
+#include "topology/shortest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace emcast::topology {
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  const std::size_t n = g.node_count();
+  ShortestPathTree tree;
+  tree.distance.assign(n, kTimeInfinity);
+  tree.predecessor.assign(n, kInvalidNode);
+
+  using Item = std::pair<Time, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  tree.distance[static_cast<std::size_t>(source)] = 0.0;
+  pq.emplace(0.0, source);
+
+  while (!pq.empty()) {
+    const auto [dist, u] = pq.top();
+    pq.pop();
+    if (dist > tree.distance[static_cast<std::size_t>(u)]) continue;  // stale
+    for (const Edge& e : g.neighbors(u)) {
+      const Time candidate = dist + e.delay;
+      auto& best = tree.distance[static_cast<std::size_t>(e.to)];
+      if (candidate < best) {
+        best = candidate;
+        tree.predecessor[static_cast<std::size_t>(e.to)] = u;
+        pq.emplace(candidate, e.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<NodeId> extract_path(const ShortestPathTree& tree, NodeId source,
+                                 NodeId target) {
+  std::vector<NodeId> path;
+  if (tree.distance[static_cast<std::size_t>(target)] == kTimeInfinity) {
+    return path;
+  }
+  for (NodeId v = target; v != kInvalidNode; v = tree.predecessor[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.empty() || path.front() != source) return {};
+  return path;
+}
+
+DelayMatrix::DelayMatrix(const Graph& g) : n_(g.node_count()), data_(n_ * n_) {
+  for (std::size_t s = 0; s < n_; ++s) {
+    const auto tree = dijkstra(g, static_cast<NodeId>(s));
+    for (std::size_t t = 0; t < n_; ++t) {
+      data_[s * n_ + t] = tree.distance[t];
+    }
+  }
+}
+
+}  // namespace emcast::topology

@@ -1,0 +1,46 @@
+#pragma once
+// Dijkstra single-source and all-pairs shortest paths over propagation
+// delay.  The overlay layer uses the resulting delay matrix both as the
+// "RTT" signal for cluster formation (DSCT/NICE measure RTTs between end
+// hosts) and as the per-hop propagation cost of overlay edges.
+
+#include <vector>
+
+#include "topology/graph.hpp"
+#include "util/types.hpp"
+
+namespace emcast::topology {
+
+struct ShortestPathTree {
+  std::vector<Time> distance;      ///< delay from the source [s]
+  std::vector<NodeId> predecessor; ///< kInvalidNode for source/unreachable
+};
+
+/// Single-source Dijkstra on edge delay.
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// Reconstruct the node path source→target from a tree (empty if
+/// unreachable).
+std::vector<NodeId> extract_path(const ShortestPathTree& tree, NodeId source,
+                                 NodeId target);
+
+/// Symmetric all-pairs one-way-delay matrix (row-major, n×n).
+class DelayMatrix {
+ public:
+  explicit DelayMatrix(const Graph& g);
+
+  Time at(NodeId a, NodeId b) const {
+    return data_[static_cast<std::size_t>(a) * n_ +
+                 static_cast<std::size_t>(b)];
+  }
+  /// Round-trip time between a and b.
+  Time rtt(NodeId a, NodeId b) const { return 2.0 * at(a, b); }
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<Time> data_;
+};
+
+}  // namespace emcast::topology

@@ -1,0 +1,33 @@
+#include "traffic/cbr_source.hpp"
+
+#include <stdexcept>
+
+namespace emcast::traffic {
+
+CbrSource::CbrSource(const CbrConfig& config) : config_(config) {
+  if (config.rate <= 0) throw std::invalid_argument("CbrSource: rate <= 0");
+  if (config.packet_size <= 0) {
+    throw std::invalid_argument("CbrSource: packet_size <= 0");
+  }
+  interval_ = config.packet_size / config.rate;
+}
+
+void CbrSource::start(sim::Simulator& sim, PacketSink sink, Time until) {
+  sink_ = std::move(sink);
+  sim.schedule_in(config_.phase, [this, &sim, until] { emit(sim, until); });
+}
+
+void CbrSource::emit(sim::Simulator& sim, Time until) {
+  if (sim.now() > until) return;
+  sim::Packet p;
+  p.id = ids_.next();
+  p.flow = config_.flow;
+  p.group = config_.group;
+  p.size = config_.packet_size;
+  p.created = sim.now();
+  p.hop_arrival = sim.now();
+  sink_(std::move(p));
+  sim.schedule_in(interval_, [this, &sim, until] { emit(sim, until); });
+}
+
+}  // namespace emcast::traffic

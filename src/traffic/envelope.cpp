@@ -1,0 +1,57 @@
+#include "traffic/envelope.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emcast::traffic {
+
+void EnvelopeEstimator::record(Time t, Bits bits) {
+  if (!arrivals_.empty() && t < arrivals_.back().t) {
+    throw std::invalid_argument("EnvelopeEstimator: time went backwards");
+  }
+  if (bits < 0) throw std::invalid_argument("EnvelopeEstimator: bits < 0");
+  arrivals_.push_back({t, bits});
+  total_bits_ += bits;
+}
+
+Time EnvelopeEstimator::span() const {
+  if (arrivals_.size() < 2) return 0.0;
+  return arrivals_.back().t - arrivals_.front().t;
+}
+
+Rate EnvelopeEstimator::mean_rate() const {
+  const Time s = span();
+  return s > 0.0 ? total_bits_ / s : 0.0;
+}
+
+Bits EnvelopeEstimator::sigma_for_rho(Rate rho) const {
+  // σ(ρ) = max_{t1 ≤ t2} [A(t2) − A(t1⁻) − ρ(t2 − t1)]
+  //      = max_t [Acum(t) − ρt  −  min_{t' ≤ t} (Acum(t'⁻) − ρt')]
+  // where Acum(t) includes the arrival at t and Acum(t'⁻) excludes it
+  // (a burst arriving at a single instant must fit within σ).
+  Bits best = 0;
+  Bits cum = 0;
+  double min_deficit = 0.0;  // min over prefixes of (cum_before − ρ·t)
+  bool first = true;
+  Time t0 = 0;
+  for (const auto& a : arrivals_) {
+    if (first) {
+      t0 = a.t;
+      first = false;
+    }
+    const Time t = a.t - t0;
+    const double before = cum - rho * t;
+    min_deficit = std::min(min_deficit, before);
+    cum += a.bits;
+    const double after = cum - rho * t;
+    best = std::max(best, after - min_deficit);
+  }
+  return best;
+}
+
+EnvelopeEstimator::Fit EnvelopeEstimator::fit(double headroom) const {
+  const Rate rho = mean_rate() * (1.0 + headroom);
+  return Fit{sigma_for_rho(rho), rho};
+}
+
+}  // namespace emcast::traffic

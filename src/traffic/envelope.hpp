@@ -1,0 +1,51 @@
+#pragma once
+// Empirical arrival-envelope estimation.  Records the cumulative arrival
+// function A(t) of a flow and answers: for a candidate service rate ρ, what
+// is the smallest σ with A(t2) − A(t1) ≤ σ + ρ(t2 − t1) for all t1 ≤ t2 —
+// i.e. the tightest (σ, ρ) envelope through the observed trace.  The
+// adaptive control algorithm uses this to parameterise regulators from
+// measurements instead of trusting declared specs.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::traffic {
+
+class EnvelopeEstimator {
+ public:
+  /// Record `bits` arriving at time `t` (non-decreasing t).
+  void record(Time t, Bits bits);
+
+  std::size_t samples() const { return arrivals_.size(); }
+  Bits total_bits() const { return total_bits_; }
+
+  /// Observation window length (last arrival − first arrival).
+  Time span() const;
+
+  /// Mean rate over the observation window.
+  Rate mean_rate() const;
+
+  /// Tightest σ for a given ρ: max over t of [Â(t) − ρt] − min over t'≤t of
+  /// [A(t'−) − ρt'], computed in one pass over the trace.  ρ below the mean
+  /// rate gives σ growing with the window (reported as-is).
+  Bits sigma_for_rho(Rate rho) const;
+
+  /// Fit a (σ, ρ) pair with ρ = mean_rate × (1 + headroom); headroom keeps
+  /// the shaper queue positively recurrent.
+  struct Fit {
+    Bits sigma;
+    Rate rho;
+  };
+  Fit fit(double headroom = 0.05) const;
+
+ private:
+  struct Arrival {
+    Time t;
+    Bits bits;
+  };
+  std::vector<Arrival> arrivals_;
+  Bits total_bits_ = 0;
+};
+
+}  // namespace emcast::traffic

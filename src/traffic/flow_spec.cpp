@@ -1,0 +1,54 @@
+#include "traffic/flow_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emcast::traffic {
+
+Rate total_rate(const std::vector<FlowSpec>& flows) {
+  Rate sum = 0;
+  for (const auto& f : flows) sum += f.rho;
+  return sum;
+}
+
+Bits total_burst(const std::vector<FlowSpec>& flows) {
+  Bits sum = 0;
+  for (const auto& f : flows) sum += f.sigma;
+  return sum;
+}
+
+bool stable(const std::vector<FlowSpec>& flows, Rate capacity) {
+  return total_rate(flows) <= capacity;
+}
+
+bool homogeneous(const std::vector<FlowSpec>& flows) {
+  if (flows.size() < 2) return true;
+  return std::all_of(flows.begin(), flows.end(), [&](const FlowSpec& f) {
+    return f.sigma == flows.front().sigma && f.rho == flows.front().rho;
+  });
+}
+
+std::vector<Bits> synchronized_bursts(const std::vector<FlowSpec>& flows,
+                                      Rate capacity) {
+  if (flows.empty()) return {};
+  // period_j = σ̂ⱼ / (ρ̂ⱼ(1−ρ̂ⱼ)) in seconds; the common period is the min.
+  double min_period = kTimeInfinity;
+  for (const auto& f : flows) {
+    const auto [sig, rho] = f.normalized(capacity);
+    if (rho <= 0.0 || rho >= 1.0) {
+      throw std::invalid_argument("synchronized_bursts: ρ̂ must be in (0,1)");
+    }
+    min_period = std::min(min_period, sig / (rho * (1.0 - rho)));
+  }
+  std::vector<Bits> result;
+  result.reserve(flows.size());
+  for (const auto& f : flows) {
+    const auto [sig, rho] = f.normalized(capacity);
+    (void)sig;
+    // σ̂*ᵢ = ρ̂ᵢ(1−ρ̂ᵢ)·P, back to bits via ×C.
+    result.push_back(rho * (1.0 - rho) * min_period * capacity);
+  }
+  return result;
+}
+
+}  // namespace emcast::traffic

@@ -1,0 +1,50 @@
+#pragma once
+// (σ, ρ) flow descriptors.  A flow with rate function R conforms to
+// (σ, ρ) — written R ~ (σ, ρ) in the paper — when the amount of data in any
+// interval [t1, t2] is at most σ + ρ·(t2 − t1).  σ is the burst allowance
+// in bits, ρ the long-term average rate in bits/s.
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::traffic {
+
+struct FlowSpec {
+  FlowId id = 0;
+  Bits sigma = 0;   ///< burst allowance σ [bits]
+  Rate rho = 0;     ///< long-term average rate ρ [bits/s]
+  /// Priority class (0 = highest).  The general MUX serves classes
+  /// strictly; the (σ, ρ, λ) bank orders its working periods by priority —
+  /// the paper's Section VII extension for flows with different
+  /// priorities.
+  std::uint8_t priority = 0;
+
+  /// Normalise against an output capacity C: σ̂ = σ/C [s], ρ̂ = ρ/C.
+  NormalizedSigmaRho normalized(Rate capacity) const {
+    if (capacity <= 0) throw std::invalid_argument("normalized: capacity <= 0");
+    return {sigma / capacity, rho / capacity};
+  }
+};
+
+/// Σρᵢ of a flow set.
+Rate total_rate(const std::vector<FlowSpec>& flows);
+
+/// Σσᵢ of a flow set.
+Bits total_burst(const std::vector<FlowSpec>& flows);
+
+/// The paper's stability condition at an end host: Σρᵢ ≤ C.
+bool stable(const std::vector<FlowSpec>& flows, Rate capacity);
+
+/// True when all flows share the same (σ, ρ) (the "homogeneous" case of
+/// Theorems 2/4/6/8).
+bool homogeneous(const std::vector<FlowSpec>& flows);
+
+/// σ*ᵢ from Theorem 1: σ*ᵢ = ρ̂ᵢ(1−ρ̂ᵢ)·min_j σ̂ⱼ/(ρ̂ⱼ(1−ρ̂ⱼ)), computed in
+/// normalised units and returned in bits.  This choice gives every flow the
+/// same regulator period (see core/turn_schedule.hpp).
+std::vector<Bits> synchronized_bursts(const std::vector<FlowSpec>& flows,
+                                      Rate capacity);
+
+}  // namespace emcast::traffic

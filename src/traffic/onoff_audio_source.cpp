@@ -1,0 +1,68 @@
+#include "traffic/onoff_audio_source.hpp"
+
+#include <stdexcept>
+
+namespace emcast::traffic {
+
+OnOffAudioSource::OnOffAudioSource(const OnOffAudioConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.mean_rate <= 0 || config.mean_on <= 0 || config.mean_off < 0) {
+    throw std::invalid_argument("OnOffAudioSource: bad config");
+  }
+  const double duty = config.mean_on / (config.mean_on + config.mean_off);
+  peak_rate_ = config.mean_rate / duty;
+  packet_interval_ = config.packet_size / peak_rate_;
+}
+
+Bits OnOffAudioSource::nominal_burst() const {
+  const Bits spurt_excess =
+      (peak_rate_ - config_.mean_rate) * 1.5 * config_.mean_on;
+  return spurt_excess + config_.packet_size;
+}
+
+void OnOffAudioSource::start(sim::Simulator& sim, PacketSink sink,
+                             Time until) {
+  sink_ = std::move(sink);
+  // Random initial silence decorrelates flows sharing a seed base.
+  const Time first = rng_.exponential(config_.mean_off);
+  sim.schedule_in(first, [this, &sim, until] { begin_talkspurt(sim, until); });
+}
+
+void OnOffAudioSource::begin_talkspurt(sim::Simulator& sim, Time until) {
+  if (sim.now() > until) return;
+  // Bounded spurt: uniform in [0.5, 1.5]·mean_on (see header).
+  const Time spurt =
+      rng_.uniform(0.5 * config_.mean_on, 1.5 * config_.mean_on);
+  last_spurt_length_ = spurt;
+  emit(sim, sim.now() + spurt, until);
+}
+
+void OnOffAudioSource::emit(sim::Simulator& sim, Time spurt_end, Time until) {
+  if (sim.now() > until) return;
+  if (sim.now() >= spurt_end) {
+    // Silence proportional to the spurt just finished (± duty_jitter):
+    // every on/off cycle then has a near-nominal duty cycle, so the
+    // long-window rate stays close to the mean and the flow conforms to
+    // its (σ, ρ) envelope instead of random-walking above it.
+    const double ratio = config_.mean_off / config_.mean_on;
+    const Time silence =
+        last_spurt_length_ * ratio *
+        rng_.uniform(1.0 - config_.duty_jitter, 1.0 + config_.duty_jitter);
+    sim.schedule_in(silence,
+                    [this, &sim, until] { begin_talkspurt(sim, until); });
+    return;
+  }
+  sim::Packet p;
+  p.id = ids_.next();
+  p.flow = config_.flow;
+  p.group = config_.group;
+  p.size = config_.packet_size;
+  p.created = sim.now();
+  p.hop_arrival = sim.now();
+  sink_(std::move(p));
+  sim.schedule_in(packet_interval_, [this, &sim, spurt_end, until] {
+    emit(sim, spurt_end, until);
+  });
+}
+
+}  // namespace emcast::traffic

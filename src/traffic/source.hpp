@@ -1,0 +1,38 @@
+#pragma once
+// Traffic source interface.  A source emits packets into a sink callback on
+// its own schedule; arrivals at the same instant model an application-layer
+// burst (e.g. one video frame handed to the network at once) that the
+// downstream regulator/link serialises.
+
+#include <functional>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/flow_spec.hpp"
+#include "util/types.hpp"
+
+namespace emcast::traffic {
+
+using PacketSink = std::function<void(sim::Packet)>;
+
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Begin emitting into `sink` from sim.now() until `until`.
+  virtual void start(sim::Simulator& sim, PacketSink sink, Time until) = 0;
+
+  /// Long-term average rate ρ of the model [bits/s].
+  virtual Rate mean_rate() const = 0;
+
+  /// Model-derived burst allowance σ [bits]: the largest excess over the
+  /// mean-rate line the model can produce (talkspurt / GoP analysis).
+  virtual Bits nominal_burst() const = 0;
+
+  /// Convenience (σ, ρ) descriptor for the regulators.
+  FlowSpec spec(FlowId id) const {
+    return FlowSpec{id, nominal_burst(), mean_rate()};
+  }
+};
+
+}  // namespace emcast::traffic

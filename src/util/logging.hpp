@@ -1,0 +1,49 @@
+#pragma once
+// Minimal levelled logger.  Benches keep it at Warn so table output stays
+// clean; tests flip it to Debug when diagnosing a simulation.
+
+#include <sstream>
+#include <string>
+
+namespace emcast::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide log threshold (atomic underneath).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_line(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace emcast::util

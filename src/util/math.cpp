@@ -1,0 +1,133 @@
+#include "util/math.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace emcast::util {
+
+std::optional<double> bisect(const std::function<double(double)>& f,
+                             double lo, double hi, const RootOptions& opts) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) return std::nullopt;
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (std::abs(fmid) < opts.tolerance || (hi - lo) < opts.tolerance) {
+      return mid;
+    }
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::optional<double> newton_bisect(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const RootOptions& opts) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) return std::nullopt;
+
+  double x = 0.5 * (lo + hi);
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double fx = f(x);
+    if (std::abs(fx) < opts.tolerance) return x;
+    // Maintain the bracket.
+    if ((fx > 0.0) == (flo > 0.0)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+    }
+    // Numeric derivative with a step scaled to the bracket.
+    const double h = std::max((hi - lo) * 1e-7, 1e-14);
+    const double dfx = (f(x + h) - fx) / h;
+    double next = (dfx != 0.0) ? x - fx / dfx : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::abs(next - x) < opts.tolerance) return next;
+    x = next;
+  }
+  return x;
+}
+
+std::vector<double> solve_quadratic(double a, double b, double c) {
+  std::vector<double> roots;
+  if (a == 0.0) {
+    if (b != 0.0) roots.push_back(-c / b);
+    return roots;
+  }
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return roots;
+  const double sq = std::sqrt(disc);
+  // Numerically stable form: compute the larger-magnitude root first.
+  const double q = -0.5 * (b + (b >= 0.0 ? sq : -sq));
+  double r1 = q / a;
+  double r2 = (q != 0.0) ? c / q : -b / a - r1;
+  if (r1 > r2) std::swap(r1, r2);
+  roots.push_back(r1);
+  if (disc > 0.0) roots.push_back(r2);
+  return roots;
+}
+
+double lerp_at(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x) {
+  assert(xs.size() == ys.size() && !xs.empty());
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (x <= xs[i]) {
+      const double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+      return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+    }
+  }
+  return ys.back();
+}
+
+std::optional<double> crossover(const std::vector<double>& xs,
+                                const std::vector<double>& ya,
+                                const std::vector<double>& yb) {
+  assert(xs.size() == ya.size() && xs.size() == yb.size());
+  if (xs.size() < 2) return std::nullopt;
+  double prev = ya[0] - yb[0];
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double cur = ya[i] - yb[i];
+    if (prev == 0.0) return xs[i - 1];
+    if ((prev > 0.0) != (cur > 0.0)) {
+      // Linear interpolation of the sign change inside the segment.
+      const double t = prev / (prev - cur);
+      return xs[i - 1] + t * (xs[i] - xs[i - 1]);
+    }
+    prev = cur;
+  }
+  return std::nullopt;
+}
+
+int ceil_log(long long value, int base) {
+  if (value <= 1) return 0;
+  if (base < 2) throw std::invalid_argument("ceil_log: base must be >= 2");
+  int exponent = 0;
+  long long power = 1;
+  const long long limit = std::numeric_limits<long long>::max() / base;
+  while (power < value) {
+    if (power > limit) {  // power*base would overflow, and value > power
+      ++exponent;
+      break;
+    }
+    power *= base;
+    ++exponent;
+  }
+  return exponent;
+}
+
+}  // namespace emcast::util

@@ -1,0 +1,47 @@
+#pragma once
+// Small numerical toolbox: root finding and interpolation used by the
+// network-calculus layer (solving g1(ρ̄) = g2(ρ̄) for the rate threshold ρ*)
+// and by the experiment harness (locating simulated crossover points).
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace emcast::util {
+
+struct RootOptions {
+  double tolerance = 1e-12;   ///< |f| and interval-width stopping tolerance.
+  int max_iterations = 200;
+};
+
+/// Bisection on [lo, hi]; requires f(lo) and f(hi) to have opposite signs.
+/// Returns nullopt if the bracket is invalid.
+std::optional<double> bisect(const std::function<double(double)>& f,
+                             double lo, double hi,
+                             const RootOptions& opts = {});
+
+/// Newton–Raphson with numeric derivative, falling back to bisection on the
+/// bracket when an iterate escapes it.  Requires a valid bracket.
+std::optional<double> newton_bisect(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const RootOptions& opts = {});
+
+/// Solve a*x^2 + b*x + c = 0; returns the real roots in ascending order.
+std::vector<double> solve_quadratic(double a, double b, double c);
+
+/// Linear interpolation of y(x) given sorted sample points; clamps outside
+/// the domain.  Used to locate empirical crossovers in WDB curves.
+double lerp_at(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x);
+
+/// First x in [xs.front(), xs.back()] where linearly-interpolated
+/// (ya - yb)(x) changes sign; nullopt if the curves do not cross.
+std::optional<double> crossover(const std::vector<double>& xs,
+                                const std::vector<double>& ya,
+                                const std::vector<double>& yb);
+
+/// ceil(log_base(value)) computed in exact integer arithmetic to avoid
+/// floating-point boundary errors (Lemma 2 needs exact heights).
+int ceil_log(long long value, int base);
+
+}  // namespace emcast::util

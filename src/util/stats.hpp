@@ -1,0 +1,58 @@
+#pragma once
+// Online statistics used by the tracer and the experiment harness:
+// Welford mean/variance plus min/max in one pass, and a fixed-bin
+// histogram with quantile queries for delay distributions.
+
+#include <cstddef>
+#include <vector>
+
+namespace emcast::util {
+
+/// Single-pass mean / variance / extrema accumulator (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range linear-bin histogram.  Out-of-range samples clamp into the
+/// first/last bin so mass is never dropped (the max is still exact via the
+/// embedded OnlineStats).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return stats_.count(); }
+  const OnlineStats& stats() const { return stats_; }
+
+  /// Inverse-CDF estimate; q in [0,1].  q=1 returns the exact maximum.
+  double quantile(double q) const;
+
+  const std::vector<std::size_t>& bins() const { return counts_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  OnlineStats stats_;
+};
+
+}  // namespace emcast::util

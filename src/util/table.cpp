@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace emcast::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::column(std::string header, int precision) {
+  headers_.push_back(std::move(header));
+  precisions_.push_back(precision);
+  return *this;
+}
+
+Table& Table::row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::row: cell count != column count");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+const Cell& Table::at(std::size_t r, std::size_t c) const {
+  return rows_.at(r).at(c);
+}
+
+std::string Table::format_cell(std::size_t col, const Cell& cell) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<long long>(&cell)) {
+    os << *i;
+  } else {
+    os << std::fixed << std::setprecision(precisions_[col])
+       << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  if (!title_.empty()) os << "## " << title_ << "\n";
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      widths[c] = std::max(widths[c], format_cell(c, rows_[r][c]).size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << "\n";
+  for (const auto& r : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (std::size_t c = 0; c < r.size(); ++c) cells.push_back(format_cell(c, r[c]));
+    emit_row(cells);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << headers_[c];
+  }
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << (c ? "," : "") << format_cell(c, r[c]);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace emcast::util

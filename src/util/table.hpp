@@ -1,0 +1,48 @@
+#pragma once
+// ASCII/CSV table emitter for the benchmark harness.  Every bench binary
+// regenerating a paper table/figure prints through this so the output rows
+// line up with the rows the paper reports.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace emcast::util {
+
+/// Cell value: text, integer or floating point (printed with the column's
+/// precision).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Define columns left-to-right.  `precision` applies to double cells.
+  Table& column(std::string header, int precision = 3);
+
+  /// Append a row; the number of cells must match the number of columns.
+  Table& row(std::vector<Cell> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const Cell& at(std::size_t r, std::size_t c) const;
+
+  /// Pretty-print with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated form (for piping into plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string format_cell(std::size_t col, const Cell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<int> precisions_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace emcast::util

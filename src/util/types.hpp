@@ -1,0 +1,53 @@
+#pragma once
+// Fundamental quantities used across the library.
+//
+// The paper normalises link capacity to C = 1 and expresses σ in "data
+// amount" and ρ in "rate" relative to C.  Working code needs real units, so
+// everything internal is SI: seconds, bits, bits/second.  The normalised
+// view (σ/C in seconds, ρ/C dimensionless) is provided by helpers where the
+// network-calculus formulas want it.
+
+#include <cstdint>
+#include <limits>
+
+namespace emcast {
+
+/// Simulation time in seconds.  A plain double: event horizons in this
+/// codebase are < 1e6 s, so double keeps sub-nanosecond resolution.
+using Time = double;
+
+/// Data amount in bits.  double rather than integer so that fluid-model
+/// token buckets can hold fractional tokens.
+using Bits = double;
+
+/// Rate in bits per second.
+using Rate = double;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Identifier types.  Distinct aliases keep call sites readable; they are
+/// intentionally *not* strong types because they index into vectors
+/// everywhere in the hot path.
+using NodeId  = std::int32_t;
+using FlowId  = std::int32_t;
+using GroupId = std::int32_t;
+using HostId  = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Convenience unit constructors.
+constexpr Rate kbps(double v) { return v * 1e3; }
+constexpr Rate mbps(double v) { return v * 1e6; }
+constexpr Bits kilobytes(double v) { return v * 8e3; }
+constexpr Bits bytes(double v) { return v * 8.0; }
+
+/// Normalised flow descriptor (σ, ρ) with C folded out, as used by the
+/// network-calculus layer: sigma_norm is in seconds-of-transmission at line
+/// rate (σ/C), rho_norm is dimensionless utilisation (ρ/C).
+struct NormalizedSigmaRho {
+  double sigma;  ///< σ/C  [seconds]
+  double rho;    ///< ρ/C  [dimensionless, in (0,1)]
+};
+
+}  // namespace emcast

@@ -1,0 +1,59 @@
+#include "core/rate_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::core {
+namespace {
+
+TEST(RateEstimator, ZeroBeforeAnyTraffic) {
+  RateEstimator e(1.0);
+  EXPECT_DOUBLE_EQ(e.rate_at(0.5), 0.0);
+}
+
+TEST(RateEstimator, ConstantRateMeasuredExactly) {
+  RateEstimator e(1.0, 20);
+  // 100 bits every 0.05 s = 2000 bit/s.
+  for (int i = 0; i < 100; ++i) e.record(i * 0.05, 100.0);
+  EXPECT_NEAR(e.rate_at(100 * 0.05), 2000.0, 200.0);
+}
+
+TEST(RateEstimator, StartupNormalisesByElapsedTime) {
+  RateEstimator e(10.0);
+  e.record(0.5, 1000.0);
+  // Only 1 s elapsed: rate ~ 1000/1, not 1000/10.
+  EXPECT_NEAR(e.rate_at(1.0), 1000.0, 1e-6);
+}
+
+TEST(RateEstimator, OldTrafficExpires) {
+  RateEstimator e(1.0, 10);
+  e.record(0.0, 10000.0);
+  // After > window of silence the rate must drop to ~0.
+  EXPECT_NEAR(e.rate_at(3.0), 0.0, 1e-6);
+}
+
+TEST(RateEstimator, TracksRateStep) {
+  RateEstimator e(1.0, 20);
+  // 1 kbit/s for 5 s, then 10 kbit/s.
+  for (int i = 0; i < 100; ++i) e.record(i * 0.05, 50.0);
+  for (int i = 100; i < 200; ++i) e.record(i * 0.05, 500.0);
+  EXPECT_NEAR(e.rate_at(10.0), 10000.0, 1500.0);
+}
+
+TEST(RateEstimator, MultipleRecordsSameBin) {
+  RateEstimator e(1.0, 10);
+  for (int i = 0; i < 10; ++i) e.record(0.55, 100.0);
+  EXPECT_NEAR(e.rate_at(1.0), 1000.0, 1e-6);
+}
+
+TEST(RateEstimator, RejectsBadConfig) {
+  EXPECT_THROW(RateEstimator(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(RateEstimator(1.0, 0), std::invalid_argument);
+}
+
+TEST(RateEstimator, WindowAccessor) {
+  RateEstimator e(2.5);
+  EXPECT_DOUBLE_EQ(e.window(), 2.5);
+}
+
+}  // namespace
+}  // namespace emcast::core

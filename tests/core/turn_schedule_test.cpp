@@ -1,0 +1,104 @@
+#include "core/turn_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::core {
+namespace {
+
+std::vector<traffic::FlowSpec> homogeneous3(Bits sigma, Rate rho) {
+  return {{0, sigma, rho}, {1, sigma, rho}, {2, sigma, rho}};
+}
+
+TEST(TurnSchedule, HomogeneousSlotsAreEqual) {
+  TurnSchedule s(homogeneous3(1000, 200), 1000.0);
+  EXPECT_EQ(s.flow_count(), 3u);
+  EXPECT_NEAR(s.slot_length(0), s.slot_length(1), 1e-12);
+  EXPECT_NEAR(s.slot_length(1), s.slot_length(2), 1e-12);
+}
+
+TEST(TurnSchedule, PeriodMatchesFormula) {
+  // P = sigma_hat / (rho_hat (1 - rho_hat)); sigma_hat = 1, rho_hat = 0.2.
+  TurnSchedule s(homogeneous3(1000, 200), 1000.0);
+  EXPECT_NEAR(s.period(), 1.0 / (0.2 * 0.8), 1e-12);
+}
+
+TEST(TurnSchedule, SlotIsRhoFractionOfPeriod) {
+  TurnSchedule s(homogeneous3(1000, 200), 1000.0);
+  EXPECT_NEAR(s.slot_length(0), 0.2 * s.period(), 1e-12);
+}
+
+TEST(TurnSchedule, VacationEqualsSigmaOverRhoForMinFlow) {
+  // For the flow attaining the min period, V = P - W = sigma_hat/rho_hat:
+  // 6.25 - 1.25 = 5.0 = 1/0.2 (Section III: "Equation (1) infers V = s/r").
+  TurnSchedule s(homogeneous3(1000, 200), 1000.0);
+  EXPECT_NEAR(s.vacation(0), 5.0, 1e-9);
+}
+
+TEST(TurnSchedule, SlotsTileWithoutOverlap) {
+  std::vector<traffic::FlowSpec> flows{
+      {0, 5000, 300}, {1, 800, 100}, {2, 1200, 150}};
+  TurnSchedule s(flows, 1000.0);
+  for (std::size_t i = 1; i < s.flow_count(); ++i) {
+    EXPECT_NEAR(s.slot_offset(i), s.slot_offset(i - 1) + s.slot_length(i - 1),
+                1e-12);
+  }
+  EXPECT_GE(s.idle_tail(), -1e-12);
+}
+
+TEST(TurnSchedule, StabilityImpliesSlotsFitInPeriod) {
+  // Sum W_i = P * sum rho_hat <= P.
+  std::vector<traffic::FlowSpec> flows{
+      {0, 5000, 400}, {1, 800, 300}, {2, 1200, 250}};
+  TurnSchedule s(flows, 1000.0);
+  double total = 0;
+  for (std::size_t i = 0; i < s.flow_count(); ++i) total += s.slot_length(i);
+  EXPECT_LE(total, s.period() + 1e-12);
+  EXPECT_NEAR(s.idle_tail(), s.period() - total, 1e-12);
+}
+
+TEST(TurnSchedule, SigmaStarBitsMatchSlotCapacity) {
+  // A slot of length W at rate C carries W*C = sigma*/(1-rho_hat) bits;
+  // check sigma* = rho(1-rho) P C.
+  TurnSchedule s(homogeneous3(1000, 200), 1000.0);
+  EXPECT_NEAR(s.sigma_star_bits(0), 0.2 * 0.8 * s.period() * 1000.0, 1e-9);
+  EXPECT_NEAR(s.sigma_star_bits(0), 1000.0, 1e-9);  // = sigma for min flow
+}
+
+TEST(TurnSchedule, SlotAtIdentifiesOwner) {
+  TurnSchedule s(homogeneous3(1000, 200), 1000.0);
+  EXPECT_EQ(s.slot_at(s.slot_offset(0) + 0.01), 0u);
+  EXPECT_EQ(s.slot_at(s.slot_offset(1) + 0.01), 1u);
+  EXPECT_EQ(s.slot_at(s.slot_offset(2) + 0.01), 2u);
+  // Idle tail returns flow_count().
+  EXPECT_EQ(s.slot_at(s.period() - 0.01), 3u);
+}
+
+TEST(TurnSchedule, NextSlotStartWrapsPeriods) {
+  TurnSchedule s(homogeneous3(1000, 200), 1000.0);
+  const Time epoch = 10.0;
+  // Ask for flow 1's slot from a time inside flow 2's slot.
+  const Time t = epoch + s.slot_offset(2) + 0.01;
+  const Time next = s.next_slot_start(1, t, epoch);
+  EXPECT_NEAR(next, epoch + s.period() + s.slot_offset(1), 1e-9);
+}
+
+TEST(TurnSchedule, RejectsInstability) {
+  std::vector<traffic::FlowSpec> flows{{0, 100, 600}, {1, 100, 600}};
+  EXPECT_THROW(TurnSchedule(flows, 1000.0), std::invalid_argument);
+}
+
+TEST(TurnSchedule, RejectsEmptyAndBadRho) {
+  EXPECT_THROW(TurnSchedule({}, 1000.0), std::invalid_argument);
+  std::vector<traffic::FlowSpec> flows{{0, 100, 1000}};
+  EXPECT_THROW(TurnSchedule(flows, 1000.0), std::invalid_argument);
+}
+
+TEST(TurnSchedule, SaturatedLoadHasNoIdleTail) {
+  std::vector<traffic::FlowSpec> flows{
+      {0, 1000, 500}, {1, 1000, 500}};
+  TurnSchedule s(flows, 1000.0);
+  EXPECT_NEAR(s.idle_tail(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace emcast::core

@@ -1,0 +1,135 @@
+// End-to-end checks of Simulation II (Fig. 5/6, Tables I-III) on a reduced
+// 150-host network so the suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include "experiments/multigroup_sim.hpp"
+#include "experiments/sweep.hpp"
+
+namespace emcast::experiments {
+namespace {
+
+MultiGroupSimConfig base_config(RegulationScheme reg, double rho) {
+  MultiGroupSimConfig c;
+  c.kind = TrafficKind::Audio;
+  c.family = TreeFamily::Dsct;
+  c.regulation = reg;
+  c.utilization = rho;
+  c.hosts = 150;
+  c.duration = 20.0;
+  c.warmup = 3.0;
+  c.seed = 13;
+  return c;
+}
+
+TEST(MultiGroupIntegration, AllSchemesDeliverEverywhere) {
+  for (auto reg : {RegulationScheme::CapacityAware, RegulationScheme::SigmaRho,
+                   RegulationScheme::SigmaRhoLambda}) {
+    const auto r = run_multigroup(base_config(reg, 0.6));
+    // 3 groups x ~149 receivers x many packets.
+    EXPECT_GT(r.deliveries, 10000u) << to_string(reg);
+    EXPECT_GT(r.worst_case_delay, 0.0) << to_string(reg);
+  }
+}
+
+TEST(MultiGroupIntegration, RegulatedTreeHeightIndependentOfLoad) {
+  const auto lo = evaluate_trees(base_config(RegulationScheme::SigmaRho, 0.35));
+  const auto hi = evaluate_trees(base_config(RegulationScheme::SigmaRho, 0.95));
+  EXPECT_EQ(lo.max_layers, hi.max_layers);
+  EXPECT_EQ(lo.max_height_hops, hi.max_height_hops);
+}
+
+TEST(MultiGroupIntegration, CapacityAwareTreeGrowsWithLoad) {
+  const auto lo =
+      evaluate_trees(base_config(RegulationScheme::CapacityAware, 0.35));
+  const auto hi =
+      evaluate_trees(base_config(RegulationScheme::CapacityAware, 0.95));
+  EXPECT_GT(hi.max_layers, lo.max_layers);
+}
+
+TEST(MultiGroupIntegration, NiceTreesNoShorterThanDsct) {
+  auto c = base_config(RegulationScheme::SigmaRho, 0.6);
+  const auto dsct = run_multigroup(c);
+  c.family = TreeFamily::Nice;
+  const auto nice = run_multigroup(c);
+  // Location-aware DSCT paths cost no more propagation than NICE's; the
+  // mean delay comparison is the robust one on a small network.
+  EXPECT_LE(dsct.mean_delay, nice.mean_delay * 1.3);
+}
+
+TEST(MultiGroupIntegration, PlainDelayGrowsWithLoadLambdaFlat) {
+  auto lo = base_config(RegulationScheme::SigmaRho, 0.40);
+  auto hi = base_config(RegulationScheme::SigmaRho, 0.95);
+  lo.duration = hi.duration = 30.0;
+  const auto plain_lo = run_multigroup(lo);
+  const auto plain_hi = run_multigroup(hi);
+  EXPECT_GT(plain_hi.worst_case_delay, 1.5 * plain_lo.worst_case_delay);
+
+  lo.regulation = hi.regulation = RegulationScheme::SigmaRhoLambda;
+  const auto lam_lo = run_multigroup(lo);
+  const auto lam_hi = run_multigroup(hi);
+  EXPECT_LT(lam_hi.worst_case_delay, 2.5 * lam_lo.worst_case_delay);
+}
+
+TEST(MultiGroupIntegration, LambdaBeatsPlainAtHighLoad) {
+  auto cp = base_config(RegulationScheme::SigmaRho, 0.95);
+  auto cl = base_config(RegulationScheme::SigmaRhoLambda, 0.95);
+  cp.duration = cl.duration = 40.0;
+  const auto plain = run_multigroup(cp);
+  const auto lambda = run_multigroup(cl);
+  EXPECT_GT(plain.worst_case_delay, lambda.worst_case_delay);
+}
+
+TEST(MultiGroupIntegration, AdaptiveSwitchesSomewhere) {
+  auto c = base_config(RegulationScheme::Adaptive, 0.92);
+  const auto r = run_multigroup(c);
+  EXPECT_GT(r.mode_switches, 0u);
+}
+
+TEST(MultiGroupIntegration, DeterministicForSeed) {
+  const auto a = run_multigroup(base_config(RegulationScheme::SigmaRho, 0.7));
+  const auto b = run_multigroup(base_config(RegulationScheme::SigmaRho, 0.7));
+  EXPECT_DOUBLE_EQ(a.worst_case_delay, b.worst_case_delay);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+TEST(MultiGroupIntegration, LossInjectionReducesDeliveryRatio) {
+  auto clean = base_config(RegulationScheme::SigmaRho, 0.6);
+  auto lossy = clean;
+  lossy.loss_rate = 0.05;
+  const auto r_clean = run_multigroup(clean);
+  const auto r_lossy = run_multigroup(lossy);
+  EXPECT_DOUBLE_EQ(r_clean.delivery_ratio, 1.0);
+  EXPECT_EQ(r_clean.losses, 0u);
+  EXPECT_GT(r_lossy.losses, 0u);
+  EXPECT_LT(r_lossy.delivery_ratio, 0.97);
+  EXPECT_GT(r_lossy.delivery_ratio, 0.70);
+}
+
+TEST(MultiGroupIntegration, LossIsSchemeIndependent) {
+  // Regulation shapes timing, not reliability: both schemes lose roughly
+  // the same fraction under the same loss process.
+  auto plain = base_config(RegulationScheme::SigmaRho, 0.6);
+  auto lambda = base_config(RegulationScheme::SigmaRhoLambda, 0.6);
+  plain.loss_rate = lambda.loss_rate = 0.05;
+  const auto rp = run_multigroup(plain);
+  const auto rl = run_multigroup(lambda);
+  EXPECT_NEAR(rp.delivery_ratio, rl.delivery_ratio, 0.05);
+}
+
+TEST(MultiGroupIntegration, SweepHelpersWork) {
+  MultiGroupSimConfig c = base_config(RegulationScheme::SigmaRho, 0.5);
+  c.hosts = 80;
+  c.duration = 8.0;
+  const std::vector<double> grid{0.4, 0.8};
+  const auto results = sweep_multigroup(c, grid);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].utilization, 0.4);
+  EXPECT_DOUBLE_EQ(results[1].utilization, 0.8);
+  const auto trees = sweep_tree_structure(c, grid);
+  ASSERT_EQ(trees.size(), 2u);
+  EXPECT_GT(trees[0].max_layers, 0);
+}
+
+}  // namespace
+}  // namespace emcast::experiments

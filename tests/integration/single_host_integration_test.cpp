@@ -1,0 +1,105 @@
+// End-to-end checks of Simulation I (Fig. 3/4): a single regulated host
+// fed by the paper's three traffic scenarios.  Durations are shorter than
+// the bench configuration to keep the suite fast; assertions target the
+// qualitative claims, not exact values.
+
+#include <gtest/gtest.h>
+
+#include "experiments/single_host.hpp"
+
+namespace emcast::experiments {
+namespace {
+
+SingleHostConfig base_config(TrafficKind kind, core::ControlMode mode,
+                             double rho) {
+  SingleHostConfig c;
+  c.kind = kind;
+  c.mode = mode;
+  c.utilization = rho;
+  c.duration = 120.0;
+  c.warmup = 5.0;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SingleHostIntegration, PacketsAreDeliveredAndCounted) {
+  const auto r = run_single_host(
+      base_config(TrafficKind::Audio, core::ControlMode::SigmaRho, 0.5));
+  EXPECT_GT(r.packets, 1000u);
+  EXPECT_GT(r.worst_case_delay, 0.0);
+  EXPECT_GE(r.worst_case_delay, r.mean_delay);
+}
+
+TEST(SingleHostIntegration, LambdaWorseAtLowLoad) {
+  // Below the threshold the (sigma,rho) model must win (Theorem 4(i)).
+  for (auto kind : {TrafficKind::Audio, TrafficKind::Video}) {
+    const auto plain = run_single_host(
+        base_config(kind, core::ControlMode::SigmaRho, 0.40));
+    const auto lambda = run_single_host(
+        base_config(kind, core::ControlMode::SigmaRhoLambda, 0.40));
+    EXPECT_LT(plain.worst_case_delay, lambda.worst_case_delay)
+        << to_string(kind);
+  }
+}
+
+TEST(SingleHostIntegration, LambdaBetterAtHighLoad) {
+  // Above the threshold the (sigma,rho,lambda) model must win.  300 s runs
+  // give the priority starvation time to build up.
+  for (auto kind : {TrafficKind::Audio, TrafficKind::Video,
+                    TrafficKind::Hetero}) {
+    auto cp = base_config(kind, core::ControlMode::SigmaRho, 0.95);
+    auto cl = base_config(kind, core::ControlMode::SigmaRhoLambda, 0.95);
+    cp.duration = cl.duration = 300.0;
+    const auto plain = run_single_host(cp);
+    const auto lambda = run_single_host(cl);
+    EXPECT_GT(plain.worst_case_delay, lambda.worst_case_delay)
+        << to_string(kind);
+  }
+}
+
+TEST(SingleHostIntegration, PlainDelayGrowsWithLoad) {
+  const auto lo = run_single_host(
+      base_config(TrafficKind::Video, core::ControlMode::SigmaRho, 0.40));
+  const auto hi = run_single_host(
+      base_config(TrafficKind::Video, core::ControlMode::SigmaRho, 0.95));
+  EXPECT_GT(hi.worst_case_delay, 2.0 * lo.worst_case_delay);
+}
+
+TEST(SingleHostIntegration, LambdaDelayRoughlyFlatAcrossLoad) {
+  const auto lo = run_single_host(base_config(
+      TrafficKind::Audio, core::ControlMode::SigmaRhoLambda, 0.40));
+  const auto hi = run_single_host(base_config(
+      TrafficKind::Audio, core::ControlMode::SigmaRhoLambda, 0.90));
+  EXPECT_LT(hi.worst_case_delay, 3.0 * lo.worst_case_delay);
+  EXPECT_GT(hi.worst_case_delay, lo.worst_case_delay / 3.0);
+}
+
+TEST(SingleHostIntegration, AdaptiveTracksLoad) {
+  // At heavy load the adaptive controller must end up in the lambda model.
+  auto c = base_config(TrafficKind::Audio, core::ControlMode::Adaptive, 0.92);
+  const auto r = run_single_host(c);
+  EXPECT_EQ(r.final_model, core::ControlMode::SigmaRhoLambda);
+  EXPECT_GE(r.mode_switches, 1u);
+  // And at light load it stays with (sigma,rho).
+  auto c2 = base_config(TrafficKind::Audio, core::ControlMode::Adaptive, 0.30);
+  const auto r2 = run_single_host(c2);
+  EXPECT_EQ(r2.final_model, core::ControlMode::SigmaRho);
+}
+
+TEST(SingleHostIntegration, MeasuredUtilizationNearConfigured) {
+  const auto r = run_single_host(
+      base_config(TrafficKind::Video, core::ControlMode::SigmaRho, 0.60));
+  EXPECT_NEAR(r.measured_utilization, 0.60, 0.12);
+}
+
+TEST(SingleHostIntegration, DeterministicForSeed) {
+  const auto a = run_single_host(
+      base_config(TrafficKind::Hetero, core::ControlMode::SigmaRho, 0.7));
+  const auto b = run_single_host(
+      base_config(TrafficKind::Hetero, core::ControlMode::SigmaRho, 0.7));
+  EXPECT_DOUBLE_EQ(a.worst_case_delay, b.worst_case_delay);
+  EXPECT_EQ(a.packets, b.packets);
+}
+
+}  // namespace
+}  // namespace emcast::experiments

@@ -1,0 +1,115 @@
+// Cross-validation of the analytical layer against the simulator: measured
+// delays must respect the paper's bounds (with the documented slack for
+// packetisation), and the measured crossover must fall in the control
+// range the theorems predict.
+
+#include <gtest/gtest.h>
+
+#include "experiments/scenarios.hpp"
+#include "experiments/multigroup_sim.hpp"
+#include "experiments/single_host.hpp"
+#include "netcalc/delay_bounds.hpp"
+#include "netcalc/dsct_bounds.hpp"
+#include "netcalc/threshold.hpp"
+
+namespace emcast::experiments {
+namespace {
+
+TEST(TheoryVsSim, MeasuredPlainDelayRespectsCruzBound) {
+  // The general-MUX bound Dg = sigma-sum/(1 - rho-sum) upper-bounds any
+  // work-conserving service order, including the adversarial LIFO-lowest.
+  for (double rho : {0.5, 0.7, 0.9}) {
+    SingleHostConfig c;
+    c.kind = TrafficKind::Audio;
+    c.mode = core::ControlMode::SigmaRho;
+    c.utilization = rho;
+    c.duration = 120.0;
+    c.seed = 3;
+    const auto r = run_single_host(c);
+
+    ScenarioConfig sc;
+    sc.kind = c.kind;
+    sc.seed = c.seed;
+    sc.envelope_calibration = c.duration + 5.0;
+    const auto scenario = make_scenario(sc);
+    const Rate capacity = scenario.capacity_for(rho);
+    const auto flows = netcalc::normalize(scenario.specs, capacity);
+    const double bound = netcalc::remark1_wdb_plain(flows);
+    EXPECT_LE(r.worst_case_delay, bound * 1.05) << "rho=" << rho;
+  }
+}
+
+TEST(TheoryVsSim, MeasuredLambdaDelayRespectsTheorem1Bound) {
+  for (double rho : {0.5, 0.9}) {
+    SingleHostConfig c;
+    c.kind = TrafficKind::Audio;
+    c.mode = core::ControlMode::SigmaRhoLambda;
+    c.utilization = rho;
+    c.duration = 120.0;
+    c.seed = 3;
+    const auto r = run_single_host(c);
+
+    ScenarioConfig sc;
+    sc.kind = c.kind;
+    sc.seed = c.seed;
+    sc.envelope_calibration = c.duration + 5.0;
+    const auto scenario = make_scenario(sc);
+    const Rate capacity = scenario.capacity_for(rho);
+    // The host schedules with sigma inflated by lambda_sigma_margin.
+    auto specs = scenario.specs;
+    for (auto& f : specs) f.sigma *= 1.25;
+    const auto flows = netcalc::normalize(specs, capacity);
+    const double bound = netcalc::theorem1_wdb_lambda(flows);
+    // Packetisation adds at most a few packet times; 1.25x slack.
+    EXPECT_LE(r.worst_case_delay, bound * 1.25) << "rho=" << rho;
+  }
+}
+
+TEST(TheoryVsSim, BoundsCrossInsideControlRangeForK3) {
+  // The analytic threshold for K=3 homogeneous flows is K rho* ~ 0.79.
+  const double util_threshold = netcalc::utilization_threshold_homogeneous(3);
+  EXPECT_GT(util_threshold, 0.70);
+  EXPECT_LT(util_threshold, 0.85);
+}
+
+TEST(TheoryVsSim, SimulatedOrderingMatchesTheoremPrediction) {
+  // Below threshold: plain < lambda.  Above: lambda < plain.  Uses the
+  // theorem's own threshold as the split point.
+  const double threshold = netcalc::utilization_threshold_homogeneous(3);
+  SingleHostConfig c;
+  c.kind = TrafficKind::Video;
+  c.duration = 240.0;
+  c.seed = 9;
+
+  c.utilization = threshold * 0.6;
+  c.mode = core::ControlMode::SigmaRho;
+  const auto plain_lo = run_single_host(c);
+  c.mode = core::ControlMode::SigmaRhoLambda;
+  const auto lambda_lo = run_single_host(c);
+  EXPECT_LT(plain_lo.worst_case_delay, lambda_lo.worst_case_delay);
+
+  c.utilization = 0.95;
+  c.mode = core::ControlMode::SigmaRho;
+  const auto plain_hi = run_single_host(c);
+  c.mode = core::ControlMode::SigmaRhoLambda;
+  const auto lambda_hi = run_single_host(c);
+  EXPECT_GT(plain_hi.worst_case_delay, lambda_hi.worst_case_delay);
+}
+
+TEST(TheoryVsSim, Lemma2BoundsBuiltDsctTrees) {
+  // The height bound of Lemma 2 (plus the domain-split layers) must cover
+  // every tree the builder produces.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    MultiGroupSimConfig c;
+    c.hosts = 200;
+    c.seed = seed;
+    const auto r = evaluate_trees(c);
+    const int bound = netcalc::lemma2_height_bound(200, 3);
+    // The intra+inter construction can add up to two extra layers over the
+    // flat-hierarchy bound.
+    EXPECT_LE(r.max_layers, bound + 2) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace emcast::experiments

@@ -1,0 +1,117 @@
+#include "netcalc/curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::netcalc {
+namespace {
+
+TEST(Curve, AffineEvaluation) {
+  const auto c = Curve::affine(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(c.value(0.0), 10.0);  // jump at origin
+  EXPECT_DOUBLE_EQ(c.value(1.0), 12.0);
+  EXPECT_DOUBLE_EQ(c.value(5.0), 20.0);
+}
+
+TEST(Curve, RateLatencyEvaluation) {
+  const auto c = Curve::rate_latency(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(c.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(3.0), 4.0);
+  EXPECT_DOUBLE_EQ(c.value(4.5), 10.0);
+}
+
+TEST(Curve, ZeroLatencyRateLatency) {
+  const auto c = Curve::rate_latency(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(c.value(2.0), 6.0);
+}
+
+TEST(Curve, InverseOfAffine) {
+  const auto c = Curve::affine(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(c.inverse(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.inverse(14.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.inverse(5.0), 0.0);  // below the jump
+}
+
+TEST(Curve, InverseOfRateLatency) {
+  const auto c = Curve::rate_latency(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(c.inverse(4.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.inverse(0.0), 0.0);
+}
+
+TEST(Curve, InverseUnreachableIsInfinity) {
+  const auto flat = Curve::affine(5.0, 0.0);
+  EXPECT_EQ(flat.inverse(10.0), kTimeInfinity);
+}
+
+TEST(Curve, ShapeClassification) {
+  EXPECT_TRUE(Curve::affine(3.0, 1.0).concave());
+  EXPECT_TRUE(Curve::rate_latency(2.0, 1.0).convex());
+}
+
+TEST(Curve, MinOfTwoAffines) {
+  // min(5 + t, 1 + 3t): crossing at t = 2 where both equal 7.
+  const auto m = Curve::min_of(Curve::affine(5.0, 1.0), Curve::affine(1.0, 3.0));
+  EXPECT_DOUBLE_EQ(m.value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.value(1.0), 4.0);   // second curve smaller
+  EXPECT_DOUBLE_EQ(m.value(2.0), 7.0);   // crossing
+  EXPECT_DOUBLE_EQ(m.value(4.0), 9.0);   // first curve smaller
+  EXPECT_TRUE(m.concave());
+}
+
+TEST(Curve, DelayBoundAffineOverRateLatency) {
+  // Textbook result: h(gamma_{sigma,rho}, beta_{R,T}) = T + sigma/R for rho <= R.
+  const auto alpha = Curve::affine(8.0, 1.0);
+  const auto beta = Curve::rate_latency(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(Curve::delay_bound(alpha, beta), 2.0 + 8.0 / 4.0);
+}
+
+TEST(Curve, DelayBoundInfiniteWhenRhoExceedsServiceRate) {
+  const auto alpha = Curve::affine(1.0, 5.0);
+  const auto beta = Curve::rate_latency(2.0, 0.0);
+  EXPECT_EQ(Curve::delay_bound(alpha, beta), kTimeInfinity);
+}
+
+TEST(Curve, BacklogBoundAffineOverRateLatency) {
+  // v(gamma, beta) = sigma + rho T.
+  const auto alpha = Curve::affine(8.0, 1.0);
+  const auto beta = Curve::rate_latency(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(Curve::backlog_bound(alpha, beta), 8.0 + 1.0 * 2.0);
+}
+
+TEST(Curve, ConcatenationAddsLatencyKeepsMinRate) {
+  const auto a = Curve::rate_latency(4.0, 1.0);
+  const auto b = Curve::rate_latency(2.0, 3.0);
+  const auto c = Curve::concatenate_rate_latency(a, b);
+  EXPECT_DOUBLE_EQ(c.value(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.value(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(c.terminal_slope(), 2.0);
+}
+
+TEST(Curve, DelayBoundThroughConcatenatedHops) {
+  // Pay-bursts-only-once: the two-hop bound is T1+T2+sigma/minR, smaller
+  // than the sum of per-hop bounds.
+  const auto alpha = Curve::affine(6.0, 1.0);
+  const auto h1 = Curve::rate_latency(3.0, 1.0);
+  const auto h2 = Curve::rate_latency(6.0, 0.5);
+  const auto combined = Curve::concatenate_rate_latency(h1, h2);
+  const double d = Curve::delay_bound(alpha, combined);
+  EXPECT_DOUBLE_EQ(d, 1.5 + 6.0 / 3.0);
+  const double sum_per_hop =
+      Curve::delay_bound(alpha, h1) + Curve::delay_bound(alpha, h2);
+  EXPECT_LT(d, sum_per_hop);
+}
+
+TEST(Curve, PureDelayShiftsOnly) {
+  const auto d = Curve::pure_delay(0.5);
+  const auto alpha = Curve::affine(2.0, 1.0);
+  EXPECT_NEAR(Curve::delay_bound(alpha, d), 0.5, 1e-9);
+}
+
+TEST(Curve, RejectsBadParameters) {
+  EXPECT_THROW(Curve::affine(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Curve::rate_latency(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Curve::rate_latency(1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emcast::netcalc

@@ -1,0 +1,113 @@
+#include "netcalc/delay_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::netcalc {
+namespace {
+
+TEST(Lambda, Equation1) {
+  EXPECT_DOUBLE_EQ(lambda_for(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(lambda_for(0.2), 1.25);
+  EXPECT_THROW(lambda_for(0.0), std::invalid_argument);
+  EXPECT_THROW(lambda_for(1.0), std::invalid_argument);
+}
+
+TEST(Periods, WorkingVacationAndTotal) {
+  // W = sigma/(1-rho), V = sigma/rho, period = lambda*sigma/rho.
+  const double sigma = 0.1, rho = 0.25;
+  EXPECT_NEAR(working_period(sigma, rho), 0.1 / 0.75, 1e-12);
+  EXPECT_NEAR(vacation_period(sigma, rho), 0.4, 1e-12);
+  EXPECT_NEAR(regulator_period(sigma, rho),
+              lambda_for(rho) * sigma / rho, 1e-12);
+}
+
+TEST(Periods, VacationApproachesK1TimesWorkAtSaturation) {
+  // Section III: with rho -> 1/K, V ~ (K-1) W.
+  const int k = 10;
+  const double rho = 1.0 / k - 1e-9;
+  const double sigma = 0.05;
+  EXPECT_NEAR(vacation_period(sigma, rho) / working_period(sigma, rho),
+              k - 1.0, 1e-5);
+}
+
+TEST(Lemma1, NoExcessBurstTerm) {
+  // sigma* <= sigma: D = 2*lambda*sigma/rho.
+  const double d = lemma1_regulator_delay(0.05, 0.1, 0.25);
+  EXPECT_NEAR(d, 2.0 * lambda_for(0.25) * 0.1 / 0.25, 1e-12);
+}
+
+TEST(Lemma1, ExcessBurstAddsLinearTerm) {
+  const double d = lemma1_regulator_delay(0.3, 0.1, 0.25);
+  EXPECT_NEAR(d, (0.3 - 0.1) / 0.25 + 2.0 * lambda_for(0.25) * 0.1 / 0.25,
+              1e-12);
+}
+
+TEST(SigmaStar, HomogeneousIsIdentity) {
+  std::vector<NormFlow> flows{{0.1, 0.2}, {0.1, 0.2}, {0.1, 0.2}};
+  const auto stars = sigma_star(flows);
+  for (double s : stars) EXPECT_NEAR(s, 0.1, 1e-12);
+}
+
+TEST(SigmaStar, EqualizesPeriods) {
+  std::vector<NormFlow> flows{{0.2, 0.3}, {0.05, 0.1}};
+  const auto stars = sigma_star(flows);
+  const double p0 = stars[0] / (0.3 * 0.7);
+  const double p1 = stars[1] / (0.1 * 0.9);
+  EXPECT_NEAR(p0, p1, 1e-12);
+}
+
+TEST(Theorem2, HomogeneousBoundFormula) {
+  // K=3, sigma0=sigma=0.1, rho=0.2:
+  //   D = 3*0.1/0.8 + 0 + 2*(1/0.8)*0.1/0.2.
+  const double d = theorem2_wdb_lambda(3, 0.1, 0.1, 0.2);
+  EXPECT_NEAR(d, 0.375 + 1.25, 1e-12);
+}
+
+TEST(Theorem1, ReducesToTheorem2ForHomogeneousFlows) {
+  std::vector<NormFlow> flows{{0.1, 0.2}, {0.1, 0.2}, {0.1, 0.2}};
+  EXPECT_NEAR(theorem1_wdb_lambda(flows),
+              theorem2_wdb_lambda(3, 0.1, 0.1, 0.2), 1e-12);
+}
+
+TEST(Remark1, HeterogeneousPlainBound) {
+  std::vector<NormFlow> flows{{0.1, 0.2}, {0.2, 0.3}};
+  EXPECT_NEAR(remark1_wdb_plain(flows), 0.3 / 0.5, 1e-12);
+}
+
+TEST(Remark1, InfiniteAtInstability) {
+  std::vector<NormFlow> flows{{0.1, 0.6}, {0.2, 0.5}};
+  EXPECT_EQ(remark1_wdb_plain(flows), kTimeInfinity);
+}
+
+TEST(Remark1, HomogeneousPlainBound) {
+  EXPECT_NEAR(remark1_wdb_plain(3, 0.1, 0.2), 0.3 / 0.4, 1e-12);
+  EXPECT_EQ(remark1_wdb_plain(4, 0.1, 0.25), kTimeInfinity);
+}
+
+TEST(Normalize, ConvertsFlowSpecs) {
+  std::vector<traffic::FlowSpec> flows{{0, 1000, 250}};
+  const auto n = normalize(flows, 1000.0);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_DOUBLE_EQ(n[0].sigma, 1.0);
+  EXPECT_DOUBLE_EQ(n[0].rho, 0.25);
+}
+
+TEST(Bounds, LambdaBeatsPlainAtHighLoad) {
+  // Above the threshold the lambda bound must be smaller (Theorem 4(i)).
+  const int k = 3;
+  const double rho = 0.31;  // K*rho = 0.93, above 0.79 threshold
+  const double sigma = 0.05;
+  EXPECT_LT(theorem2_wdb_lambda(k, sigma, sigma, rho),
+            remark1_wdb_plain(k, sigma, rho));
+}
+
+TEST(Bounds, PlainBeatsLambdaAtLowLoad) {
+  const int k = 3;
+  const double rho = 0.05;  // K*rho = 0.15, far below threshold
+  const double sigma = 0.05;
+  EXPECT_GT(theorem2_wdb_lambda(k, sigma, sigma, rho),
+            remark1_wdb_plain(k, sigma, rho));
+}
+
+}  // namespace
+}  // namespace emcast::netcalc

@@ -1,0 +1,87 @@
+#include "netcalc/dsct_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::netcalc {
+namespace {
+
+TEST(Lemma2, PaperCaseN665K3) {
+  // ceil(log_3(3 + 665*2)) = ceil(log_3 1333) = 7.
+  EXPECT_EQ(lemma2_height_bound(665, 3), 7);
+}
+
+TEST(Lemma2, SmallGroups) {
+  EXPECT_EQ(lemma2_height_bound(1, 3), 1);
+  EXPECT_EQ(lemma2_height_bound(2, 3), 2);   // ceil(log_3 7) = 2
+  EXPECT_EQ(lemma2_height_bound(3, 3), 2);   // ceil(log_3 9) = 2
+  EXPECT_EQ(lemma2_height_bound(4, 3), 3);   // ceil(log_3 11) = 3
+}
+
+TEST(Lemma2, MonotoneInN) {
+  int prev = 0;
+  for (long long n = 1; n <= 5000; n += 37) {
+    const int h = lemma2_height_bound(n, 3);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Lemma2, LargerKGivesShorterTrees) {
+  EXPECT_GE(lemma2_height_bound(1000, 2), lemma2_height_bound(1000, 4));
+  EXPECT_GE(lemma2_height_bound(1000, 4), lemma2_height_bound(1000, 8));
+}
+
+TEST(Lemma2, J1ReducesInnerTerm) {
+  // Larger j1 never increases the bound.
+  for (int j1 = 0; j1 < 3; ++j1) {
+    EXPECT_LE(lemma2_height_bound(665, 3, j1), lemma2_height_bound(665, 3, 0));
+  }
+}
+
+TEST(Lemma2, RejectsBadArguments) {
+  EXPECT_THROW(lemma2_height_bound(0, 3), std::invalid_argument);
+  EXPECT_THROW(lemma2_height_bound(10, 1), std::invalid_argument);
+  EXPECT_THROW(lemma2_height_bound(10, 3, 3), std::invalid_argument);
+  EXPECT_THROW(lemma2_height_bound(10, 3, -1), std::invalid_argument);
+}
+
+TEST(Theorem7, ScalesTheorem1ByHops) {
+  std::vector<NormFlow> flows{{0.1, 0.2}, {0.05, 0.15}};
+  const double single = theorem1_wdb_lambda(flows);
+  EXPECT_NEAR(theorem7_wdb_lambda(flows, 5), 4.0 * single, 1e-12);
+  EXPECT_NEAR(theorem7_wdb_lambda(flows, 1), 0.0, 1e-12);
+}
+
+TEST(Theorem8, ScalesTheorem2ByHops) {
+  const double single = theorem2_wdb_lambda(3, 0.1, 0.1, 0.2);
+  EXPECT_NEAR(theorem8_wdb_lambda(3, 0.1, 0.1, 0.2, 7), 6.0 * single, 1e-12);
+}
+
+TEST(Remark2, ScalesRemark1ByHops) {
+  std::vector<NormFlow> flows{{0.1, 0.2}, {0.2, 0.3}};
+  EXPECT_NEAR(remark2_wdb_plain(flows, 6), 5.0 * (0.3 / 0.5), 1e-12);
+  EXPECT_NEAR(remark2_wdb_plain(3, 0.1, 0.2, 6), 5.0 * (0.3 / 0.4), 1e-12);
+}
+
+TEST(MulticastBounds, RejectBadHeight) {
+  std::vector<NormFlow> flows{{0.1, 0.2}};
+  EXPECT_THROW(theorem7_wdb_lambda(flows, 0), std::invalid_argument);
+}
+
+TEST(MulticastBounds, ThresholdBehaviourSurvivesHopScaling) {
+  // Theorem 8(ii): the crossover is height-independent (both sides scale
+  // by H-1), so comparing at any H gives the same verdict as H=2.
+  const int k = 3;
+  const double sigma = 0.05;
+  for (int h : {2, 5, 9}) {
+    const double lo_lambda = theorem8_wdb_lambda(k, sigma, sigma, 0.05, h);
+    const double lo_plain = remark2_wdb_plain(k, sigma, 0.05, h);
+    EXPECT_GT(lo_lambda, lo_plain) << h;   // below threshold plain wins
+    const double hi_lambda = theorem8_wdb_lambda(k, sigma, sigma, 0.31, h);
+    const double hi_plain = remark2_wdb_plain(k, sigma, 0.31, h);
+    EXPECT_LT(hi_lambda, hi_plain) << h;   // above threshold lambda wins
+  }
+}
+
+}  // namespace
+}  // namespace emcast::netcalc

@@ -1,0 +1,75 @@
+#include "netcalc/improvement.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "netcalc/threshold.hpp"
+
+namespace emcast::netcalc {
+namespace {
+
+TEST(Improvement, LowerBoundFormula) {
+  // K=3, rho=0.3: 3*0.3*0.7 / (0.1 * (3 + 2*0.3)).
+  EXPECT_NEAR(improvement_lower_bound(3, 0.3),
+              3.0 * 0.3 * 0.7 / (0.1 * 3.6), 1e-12);
+}
+
+TEST(Improvement, GrowsTowardSaturation) {
+  const int k = 5;
+  double prev = 0;
+  for (double rho = 0.10; rho < 0.1999; rho += 0.02) {
+    const double r = improvement_lower_bound(k, rho);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Improvement, ExactRatioCrossesOneAtThreshold) {
+  const int k = 3;
+  const double rstar = rho_star_homogeneous(k);
+  EXPECT_NEAR(improvement_exact_homogeneous(k, rstar), 1.0, 1e-9);
+  EXPECT_LT(improvement_exact_homogeneous(k, rstar * 0.5), 1.0);
+  const double above = rstar + 0.7 * (1.0 / k - rstar);
+  EXPECT_GT(improvement_exact_homogeneous(k, above), 1.0);
+}
+
+TEST(Improvement, WindowLowEdge) {
+  // 1/K - 1/K^{n+1}.
+  EXPECT_NEAR(improvement_window_low(3, 1), 1.0 / 3.0 - 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(improvement_window_low(3, 2), 1.0 / 3.0 - 1.0 / 27.0, 1e-12);
+}
+
+TEST(Improvement, WindowValidityAgainstThreshold) {
+  const int k = 10;
+  const double rstar = rho_star_heterogeneous(k);
+  // n=1 window for K=10 starts at 0.09, rho* ~ 0.079 -> valid.
+  EXPECT_TRUE(improvement_window_valid(k, 1, rstar));
+}
+
+TEST(Improvement, OrderKnScaling) {
+  // Inside the n-window the ratio bound must reach Theta(K^n): check the
+  // paper's reference value (1-1/K^n)(1-1/K)K^n/4 at the window edge.
+  for (int k : {4, 8, 16}) {
+    for (int n : {1, 2}) {
+      const double edge = improvement_window_low(k, n);
+      const double bound = improvement_lower_bound(k, edge);
+      const double reference = improvement_theta_reference(k, n);
+      EXPECT_GE(bound, reference * 0.99) << "K=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(Improvement, ThetaReferenceGrowsGeometrically) {
+  EXPECT_GT(improvement_theta_reference(10, 2),
+            5.0 * improvement_theta_reference(10, 1));
+}
+
+TEST(Improvement, RejectsOutOfRangeRho) {
+  EXPECT_THROW(improvement_lower_bound(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(improvement_lower_bound(3, 0.34), std::invalid_argument);
+  EXPECT_THROW(improvement_lower_bound(1, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emcast::netcalc

@@ -1,0 +1,73 @@
+#include "netcalc/multihop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::netcalc {
+namespace {
+
+const std::vector<NormFlow> kFlows{{0.02, 0.2}, {0.02, 0.2}, {0.02, 0.2}};
+
+TEST(OutputBurstiness, CruzFormula) {
+  EXPECT_DOUBLE_EQ(output_burstiness(0.1, 0.5, 2.0), 0.1 + 1.0);
+  EXPECT_THROW(output_burstiness(-0.1, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(Multihop, ReshapedHopsAreIdentical) {
+  const auto d = multihop_plain_reshaped(kFlows, 5);
+  ASSERT_EQ(d.size(), 5u);
+  for (double x : d) EXPECT_DOUBLE_EQ(x, d[0]);
+  EXPECT_DOUBLE_EQ(d[0], remark1_wdb_plain(kFlows));
+}
+
+TEST(Multihop, UnshapedDelaysGrowMonotonically) {
+  const auto d = multihop_plain_unshaped(kFlows, 5);
+  ASSERT_EQ(d.size(), 5u);
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_GT(d[i], d[i - 1]);
+}
+
+TEST(Multihop, FirstHopsAgree) {
+  EXPECT_DOUBLE_EQ(multihop_plain_unshaped(kFlows, 1)[0],
+                   multihop_plain_reshaped(kFlows, 1)[0]);
+}
+
+TEST(Multihop, ReshapingNeverWorse) {
+  for (int hops : {1, 2, 4, 8}) {
+    const auto c = compare_multihop(kFlows, hops);
+    EXPECT_GE(c.amplification, 1.0 - 1e-12) << hops;
+    EXPECT_GE(c.unshaped_total, c.reshaped_total - 1e-12) << hops;
+  }
+}
+
+TEST(Multihop, AmplificationGrowsWithHopsAndLoad) {
+  const auto light = compare_multihop(kFlows, 6);
+  const std::vector<NormFlow> heavy{{0.02, 0.3}, {0.02, 0.3}, {0.02, 0.3}};
+  const auto hot = compare_multihop(heavy, 6);
+  EXPECT_GT(light.amplification, compare_multihop(kFlows, 2).amplification);
+  EXPECT_GT(hot.amplification, light.amplification);
+}
+
+TEST(Multihop, UnshapedExactGeometricForm) {
+  // With burst growth sigma <- sigma + rho*D and D = S/(1-R) where S is
+  // the total burst and R the total rate, each hop multiplies the total
+  // burst by 1/(1-R): delays form a geometric series with ratio 1/(1-R).
+  const double R = 0.6;
+  const std::vector<NormFlow> flows{{0.03, R / 3}, {0.03, R / 3}, {0.03, R / 3}};
+  const auto d = multihop_plain_unshaped(flows, 4);
+  const double ratio = 1.0 / (1.0 - R);
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    EXPECT_NEAR(d[i] / d[i - 1], ratio, 1e-9);
+  }
+}
+
+TEST(Multihop, ThrowsWhenChainGoesUnstable) {
+  // Unstable from the start.
+  const std::vector<NormFlow> unstable{{0.1, 0.6}, {0.1, 0.6}};
+  EXPECT_THROW(multihop_plain_unshaped(unstable, 2), std::invalid_argument);
+}
+
+TEST(Multihop, RejectsBadHopCount) {
+  EXPECT_THROW(multihop_plain_reshaped(kFlows, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emcast::netcalc

@@ -1,0 +1,101 @@
+#include "netcalc/threshold.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace emcast::netcalc {
+namespace {
+
+TEST(Threshold, HomogeneousK3ClosedForm) {
+  // (K^2-K) rho^2 + 2K rho - 2 = 0 with K=3: 6 rho^2 + 6 rho - 2 = 0.
+  const double r = rho_star_homogeneous(3);
+  EXPECT_NEAR(6.0 * r * r + 6.0 * r - 2.0, 0.0, 1e-12);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0 / 3.0);
+}
+
+TEST(Threshold, HeterogeneousK3ClosedForm) {
+  // (K^2-2K) rho^2 + (3K+1) rho - 3 = 0 with K=3: 3 rho^2 + 10 rho - 3 = 0.
+  const double r = rho_star_heterogeneous(3);
+  EXPECT_NEAR(3.0 * r * r + 10.0 * r - 3.0, 0.0, 1e-12);
+}
+
+TEST(Threshold, HeterogeneousK2DegeneratesToLinear) {
+  // K=2 zeroes the quadratic coefficient: 7 rho = 3.
+  EXPECT_NEAR(rho_star_heterogeneous(2), 3.0 / 7.0, 1e-12);
+}
+
+TEST(Threshold, ControlRangeLimitsMatchPaper) {
+  EXPECT_NEAR(control_range_limit_homogeneous(), 0.2679, 1e-3);
+  EXPECT_NEAR(control_range_limit_heterogeneous(), 0.2087, 1e-3);
+}
+
+TEST(Threshold, UtilizationThresholdsApproachPaperValues) {
+  // K -> infinity: K rho* -> 0.732 (hom) and 0.791 (het).
+  EXPECT_NEAR(utilization_threshold_homogeneous(1000), std::sqrt(3.0) - 1.0,
+              1e-3);
+  EXPECT_NEAR(utilization_threshold_heterogeneous(1000),
+              (std::sqrt(21.0) - 3.0) / 2.0, 1e-3);
+}
+
+TEST(Threshold, ControlRangeConvergesToLimit) {
+  const double hom = control_range_ratio(rho_star_homogeneous(500), 500);
+  const double het = control_range_ratio(rho_star_heterogeneous(500), 500);
+  EXPECT_NEAR(hom, control_range_limit_homogeneous(), 2e-3);
+  EXPECT_NEAR(het, control_range_limit_heterogeneous(), 2e-3);
+}
+
+TEST(Threshold, InsideOpenInterval) {
+  for (int k = 2; k <= 50; ++k) {
+    const double hom = rho_star_homogeneous(k);
+    const double het = rho_star_heterogeneous(k);
+    EXPECT_GT(hom, 0.0) << k;
+    EXPECT_LT(hom, 1.0 / k) << k;
+    EXPECT_GT(het, 0.0) << k;
+    EXPECT_LT(het, 1.0 / k) << k;
+  }
+}
+
+TEST(Threshold, NumericMatchesClosedFormHomogeneous) {
+  for (int k : {2, 3, 5, 10, 50}) {
+    const auto numeric = rho_star_numeric(k, false);
+    ASSERT_TRUE(numeric.has_value()) << k;
+    EXPECT_NEAR(*numeric, rho_star_homogeneous(k), 1e-8) << k;
+  }
+}
+
+TEST(Threshold, NumericMatchesClosedFormHeterogeneous) {
+  for (int k : {2, 3, 5, 10, 50}) {
+    const auto numeric = rho_star_numeric(k, true);
+    ASSERT_TRUE(numeric.has_value()) << k;
+    EXPECT_NEAR(*numeric, rho_star_heterogeneous(k), 1e-8) << k;
+  }
+}
+
+TEST(Threshold, G1AboveG2BelowThresholdAndViceVersa) {
+  const int k = 3;
+  const double r = rho_star_heterogeneous(k);
+  EXPECT_GT(g1(k, r * 0.5), g2(k, r * 0.5));
+  const double above = r + 0.5 * (1.0 / k - r);
+  EXPECT_LT(g1(k, above), g2(k, above));
+}
+
+TEST(Threshold, HeterogeneousAboveHomogeneous) {
+  // The heterogeneity penalty pushes the threshold up: rho*_het > rho*_hom.
+  for (int k : {3, 5, 10, 100}) {
+    EXPECT_GT(rho_star_heterogeneous(k), rho_star_homogeneous(k)) << k;
+  }
+}
+
+TEST(Threshold, RejectsKBelow2) {
+  EXPECT_THROW(rho_star_homogeneous(1), std::invalid_argument);
+  EXPECT_THROW(rho_star_heterogeneous(1), std::invalid_argument);
+}
+
+TEST(Threshold, G2DivergesAtSaturation) {
+  EXPECT_TRUE(std::isinf(g2(3, 1.0 / 3.0)));
+}
+
+}  // namespace
+}  // namespace emcast::netcalc

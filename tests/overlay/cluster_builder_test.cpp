@@ -1,0 +1,185 @@
+#include "overlay/cluster_builder.hpp"
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace emcast::overlay {
+namespace {
+
+// Members on a line: RTT = |a-b|.
+RttFn line_rtt() {
+  return [](std::size_t a, std::size_t b) {
+    return a > b ? static_cast<Time>(a - b) : static_cast<Time>(b - a);
+  };
+}
+
+std::vector<std::size_t> iota_ids(std::size_t n) {
+  std::vector<std::size_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(ClusterOnce, PartitionIsExactCover) {
+  util::Rng rng(1);
+  ClusterConfig cfg{3, 8, false};
+  const auto clusters = cluster_once(iota_ids(50), line_rtt(), cfg, rng);
+  std::set<std::size_t> seen;
+  for (const auto& c : clusters) {
+    for (std::size_t m : c.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "duplicate member " << m;
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(ClusterOnce, SizesWithinRange) {
+  util::Rng rng(2);
+  ClusterConfig cfg{3, 8, false};
+  const auto clusters = cluster_once(iota_ids(100), line_rtt(), cfg, rng);
+  for (const auto& c : clusters) {
+    EXPECT_GE(c.members.size(), 2u);
+    // The final/adjusted cluster may exceed max by one (orphan avoidance).
+    EXPECT_LE(c.members.size(), 9u);
+  }
+}
+
+TEST(ClusterOnce, CoreIsClusterMember) {
+  util::Rng rng(3);
+  ClusterConfig cfg{3, 8, false};
+  const auto clusters = cluster_once(iota_ids(30), line_rtt(), cfg, rng);
+  for (const auto& c : clusters) {
+    EXPECT_NE(std::find(c.members.begin(), c.members.end(), c.core),
+              c.members.end());
+  }
+}
+
+TEST(ClusterOnce, ClustersAreLocalOnALine) {
+  // With ordered seeds on a line metric, clusters pick nearest neighbours,
+  // so the span of each cluster is far below the line length.
+  util::Rng rng(4);
+  ClusterConfig cfg{3, 8, false};
+  const auto clusters = cluster_once(iota_ids(100), line_rtt(), cfg, rng);
+  for (const auto& c : clusters) {
+    const auto [lo, hi] = std::minmax_element(c.members.begin(), c.members.end());
+    EXPECT_LE(*hi - *lo, 20u);
+  }
+}
+
+TEST(ClusterOnce, NeverLeavesSingleOrphan) {
+  util::Rng rng(5);
+  ClusterConfig cfg{3, 3, false};  // fixed size 3, n=10 -> 3+3+4 or similar
+  const auto clusters = cluster_once(iota_ids(10), line_rtt(), cfg, rng);
+  for (const auto& c : clusters) EXPECT_GE(c.members.size(), 2u);
+}
+
+TEST(ClusterOnce, SmallGroupSingleCluster) {
+  util::Rng rng(6);
+  ClusterConfig cfg{3, 8, false};
+  const auto clusters = cluster_once(iota_ids(5), line_rtt(), cfg, rng);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 5u);
+}
+
+TEST(ClusterOnce, RejectsBadSizeRange) {
+  util::Rng rng(7);
+  ClusterConfig cfg{1, 8, false};
+  EXPECT_THROW(cluster_once(iota_ids(5), line_rtt(), cfg, rng),
+               std::invalid_argument);
+  ClusterConfig cfg2{5, 3, false};
+  EXPECT_THROW(cluster_once(iota_ids(5), line_rtt(), cfg2, rng),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, TerminatesAtSingleTop) {
+  util::Rng rng(8);
+  ClusterConfig cfg{3, 8, false};
+  const auto h = build_hierarchy(iota_ids(200), line_rtt(), cfg, rng);
+  EXPECT_GE(h.layers.size(), 2u);
+  EXPECT_EQ(h.layers.back().size(), 1u);
+  EXPECT_EQ(h.layers.back()[0].core, h.top);
+}
+
+TEST(Hierarchy, LayerSizesShrinkGeometrically) {
+  util::Rng rng(9);
+  ClusterConfig cfg{3, 8, false};
+  const auto h = build_hierarchy(iota_ids(500), line_rtt(), cfg, rng);
+  std::size_t prev = 500;
+  for (const auto& layer : h.layers) {
+    std::size_t members = 0;
+    for (const auto& c : layer) members += c.members.size();
+    EXPECT_EQ(members, prev);  // each layer clusters the previous cores
+    prev = layer.size();
+  }
+}
+
+TEST(Hierarchy, LayerCountWithinLemma2StyleBound) {
+  // With min cluster size k the hierarchy can have at most
+  // ceil(log_k n) + 1 layers.
+  util::Rng rng(10);
+  ClusterConfig cfg{3, 8, false};
+  for (std::size_t n : {10u, 50u, 200u, 665u}) {
+    const auto h = build_hierarchy(iota_ids(n), line_rtt(), cfg, rng);
+    int bound = 1;
+    std::size_t cover = 1;
+    while (cover < n) { cover *= cfg.min_size; ++bound; }
+    EXPECT_LE(h.layer_count(), bound + 1) << "n=" << n;
+  }
+}
+
+TEST(Hierarchy, SingletonInput) {
+  util::Rng rng(11);
+  ClusterConfig cfg{3, 8, false};
+  const auto h = build_hierarchy({42}, line_rtt(), cfg, rng);
+  EXPECT_TRUE(h.layers.empty());
+  EXPECT_EQ(h.top, 42u);
+  EXPECT_EQ(h.layer_count(), 1);
+}
+
+TEST(HierarchyToParents, ProducesValidTree) {
+  util::Rng rng(12);
+  ClusterConfig cfg{3, 8, false};
+  const std::size_t n = 120;
+  const auto h = build_hierarchy(iota_ids(n), line_rtt(), cfg, rng);
+  std::vector<std::size_t> parent(n, MulticastTree::npos);
+  hierarchy_to_parents(h, parent);
+  std::vector<Member> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = Member{i, static_cast<NodeId>(i)};
+  // Constructor validates spanning-tree structure.
+  MulticastTree tree(std::move(members), parent, h.top, h.layer_count());
+  EXPECT_EQ(tree.size(), n);
+}
+
+TEST(HierarchyToParents, EveryNonTopHasParent) {
+  util::Rng rng(13);
+  ClusterConfig cfg{3, 8, false};
+  const std::size_t n = 77;
+  const auto h = build_hierarchy(iota_ids(n), line_rtt(), cfg, rng);
+  std::vector<std::size_t> parent(n, MulticastTree::npos);
+  hierarchy_to_parents(h, parent);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == h.top) {
+      EXPECT_EQ(parent[i], MulticastTree::npos);
+    } else {
+      EXPECT_NE(parent[i], MulticastTree::npos) << i;
+    }
+  }
+}
+
+TEST(Hierarchy, RandomSeedsStillCoverEverything) {
+  util::Rng rng(14);
+  ClusterConfig cfg{3, 8, true};  // NICE-style random seeds
+  const std::size_t n = 150;
+  const auto h = build_hierarchy(iota_ids(n), line_rtt(), cfg, rng);
+  std::vector<std::size_t> parent(n, MulticastTree::npos);
+  hierarchy_to_parents(h, parent);
+  std::size_t with_parent = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parent[i] != MulticastTree::npos) ++with_parent;
+  }
+  EXPECT_EQ(with_parent, n - 1);
+}
+
+}  // namespace
+}  // namespace emcast::overlay

@@ -1,0 +1,69 @@
+// The paper's Fig. 1 didactic example: five end hosts with output capacity
+// C = 5ρ.  With one group a host may feed ⌊5ρ/ρ⌋ = 5 children, so the
+// source reaches everyone in one hop; with two groups the bound drops to
+// ⌊5ρ/2ρ⌋ = 2 and the tree must get taller.
+
+#include <gtest/gtest.h>
+
+#include "overlay/capacity_aware.hpp"
+
+namespace emcast::overlay {
+namespace {
+
+RttFn flat_rtt() {
+  return [](std::size_t a, std::size_t b) {
+    return 0.01 + 1e-5 * static_cast<double>(a * 7 + b);
+  };
+}
+
+TEST(Fig1Example, OneGroupFlatTree) {
+  // C_host = 5ρ and one flow: fan-out bound 5 — host 0 feeds all four
+  // others directly (tree height 1, like Fig. 1(a)).
+  CapacityAwareConfig cfg;
+  cfg.host_capacity_factor = 5.0;  // C_host = 5ρ, one flow -> ρ̄ = ρ/C = 1
+  cfg.utilization = 1.0;
+  cfg.max_fanout = 8;
+  EXPECT_EQ(capacity_fanout(cfg), 5u);
+
+  std::vector<Member> members(5);
+  std::vector<int> domain(5, 0);
+  for (std::size_t i = 0; i < 5; ++i) members[i] = Member{i, static_cast<NodeId>(i)};
+  const auto tree =
+      build_capacity_aware_dsct(members, domain, flat_rtt(), 0, cfg);
+  EXPECT_EQ(tree.height_hops(), 1);
+  EXPECT_EQ(tree.children(0).size(), 4u);
+}
+
+TEST(Fig1Example, TwoGroupsDeeperTree) {
+  // Two flows through the same hosts: fan-out bound ⌊5/2⌋ = 2 — host 0
+  // can no longer feed everyone directly (Fig. 1(b)).
+  CapacityAwareConfig cfg;
+  cfg.host_capacity_factor = 5.0;
+  cfg.utilization = 2.0 / 1.0;  // 2 flows of rate ρ against C = ... not valid
+  // utilization must be in (0,1]; express the 2-flow case as C_host/ρ̄ = 5/2.
+  cfg.host_capacity_factor = 2.5;
+  cfg.utilization = 1.0;
+  EXPECT_EQ(capacity_fanout(cfg), 2u);
+
+  std::vector<Member> members(5);
+  std::vector<int> domain(5, 0);
+  for (std::size_t i = 0; i < 5; ++i) members[i] = Member{i, static_cast<NodeId>(i)};
+  const auto tree =
+      build_capacity_aware_dsct(members, domain, flat_rtt(), 0, cfg);
+  EXPECT_GE(tree.height_hops(), 2);  // someone is two hops away now
+  EXPECT_LE(tree.max_fanout(), 3u);  // cluster sizes in [2, 4] -> fanout <= 3
+}
+
+TEST(Fig1Example, FanoutBoundMatchesFloorRule) {
+  // ⌊C_host/(K̂ρ)⌋ across the paper's narrative values.
+  CapacityAwareConfig cfg;
+  cfg.max_fanout = 16;
+  cfg.host_capacity_factor = 5.0;
+  cfg.utilization = 1.0;  // one flow
+  EXPECT_EQ(capacity_fanout(cfg), 5u);
+  cfg.host_capacity_factor = 5.0 / 3.0;  // three flows
+  EXPECT_EQ(capacity_fanout(cfg), 2u);   // floor(5/3) = 1 -> clamped to 2
+}
+
+}  // namespace
+}  // namespace emcast::overlay

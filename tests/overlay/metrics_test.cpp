@@ -1,0 +1,72 @@
+#include "overlay/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/backbone.hpp"
+
+namespace emcast::overlay {
+namespace {
+
+const topology::AttachedNetwork& test_network() {
+  static const topology::AttachedNetwork net = [] {
+    const auto backbone = topology::make_fig5_backbone();
+    topology::HostAttachmentConfig hc;
+    hc.host_count = 100;
+    hc.seed = 4;
+    return topology::attach_hosts(backbone, hc);
+  }();
+  return net;
+}
+
+MultiGroupNetwork make_mg() {
+  MultiGroupConfig cfg;
+  cfg.groups = 1;
+  cfg.seed = 21;
+  return MultiGroupNetwork(test_network(), cfg);
+}
+
+TEST(TreeMetrics, ConsistentWithTreeAccessors) {
+  const auto mg = make_mg();
+  const auto m = measure_tree(mg.tree(0), mg);
+  EXPECT_EQ(m.hierarchy_layers, mg.tree(0).hierarchy_layers());
+  EXPECT_EQ(m.height_hops, mg.tree(0).height_hops());
+  EXPECT_EQ(m.max_fanout, mg.tree(0).max_fanout());
+}
+
+TEST(TreeMetrics, DepthAndPropagationPositive) {
+  const auto mg = make_mg();
+  const auto m = measure_tree(mg.tree(0), mg);
+  EXPECT_GT(m.mean_depth, 0.0);
+  EXPECT_LE(m.mean_depth, m.height_hops);
+  EXPECT_GT(m.max_path_propagation, 0.0);
+  EXPECT_GE(m.max_path_propagation, m.mean_path_propagation);
+}
+
+TEST(TreeMetrics, PropagationBoundedByHeightTimesDiameter) {
+  const auto mg = make_mg();
+  const auto m = measure_tree(mg.tree(0), mg);
+  // Worst underlay one-way delay between hosts is < 200 ms on this
+  // backbone; a path of height hops cannot exceed height * that.
+  EXPECT_LT(m.max_path_propagation, m.height_hops * 0.2);
+}
+
+TEST(LinkStress, CountsOverlayEdgesOnUnderlayLinks) {
+  const auto mg = make_mg();
+  const auto stress = measure_link_stress(mg.tree(0), mg.network().graph);
+  EXPECT_FALSE(stress.per_link.empty());
+  EXPECT_GE(stress.max_stress, 1u);
+  EXPECT_GE(static_cast<double>(stress.max_stress), stress.mean_stress);
+}
+
+TEST(LinkStress, AccessLinksCarryAtLeastMemberEdges) {
+  // Every non-root member receives over its access link, so total stress
+  // is at least n-1.
+  const auto mg = make_mg();
+  const auto stress = measure_link_stress(mg.tree(0), mg.network().graph);
+  std::size_t total = 0;
+  for (const auto& [link, cnt] : stress.per_link) total += cnt;
+  EXPECT_GE(total, mg.tree(0).size() - 1);
+}
+
+}  // namespace
+}  // namespace emcast::overlay

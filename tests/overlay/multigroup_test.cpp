@@ -1,0 +1,98 @@
+#include "overlay/multigroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/backbone.hpp"
+
+namespace emcast::overlay {
+namespace {
+
+const topology::AttachedNetwork& test_network() {
+  static const topology::AttachedNetwork net = [] {
+    const auto backbone = topology::make_fig5_backbone();
+    topology::HostAttachmentConfig hc;
+    hc.host_count = 120;
+    hc.seed = 9;
+    return topology::attach_hosts(backbone, hc);
+  }();
+  return net;
+}
+
+TEST(MultiGroup, BuildsOneTreePerGroup) {
+  MultiGroupConfig cfg;
+  cfg.groups = 3;
+  MultiGroupNetwork mg(test_network(), cfg);
+  EXPECT_EQ(mg.groups(), 3);
+  EXPECT_EQ(mg.host_count(), 120u);
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_EQ(mg.tree(g).size(), 120u);
+    EXPECT_EQ(mg.tree(g).root(), mg.source(g));
+  }
+}
+
+TEST(MultiGroup, SourcesAreValidHosts) {
+  MultiGroupConfig cfg;
+  MultiGroupNetwork mg(test_network(), cfg);
+  for (int g = 0; g < mg.groups(); ++g) {
+    EXPECT_LT(mg.source(g), mg.host_count());
+  }
+}
+
+TEST(MultiGroup, TreesDifferAcrossGroups) {
+  MultiGroupConfig cfg;
+  MultiGroupNetwork mg(test_network(), cfg);
+  // Different sources (with high probability under the fixed seed).
+  EXPECT_TRUE(mg.source(0) != mg.source(1) || mg.source(1) != mg.source(2));
+}
+
+TEST(MultiGroup, MemberDelayIsSymmetricPositive) {
+  MultiGroupConfig cfg;
+  MultiGroupNetwork mg(test_network(), cfg);
+  EXPECT_DOUBLE_EQ(mg.member_delay(3, 3), 0.0);
+  EXPECT_GT(mg.member_delay(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mg.member_delay(0, 1), mg.member_delay(1, 0));
+}
+
+TEST(MultiGroup, AllSchemesBuild) {
+  for (auto scheme :
+       {TreeScheme::Dsct, TreeScheme::Nice, TreeScheme::CapacityAwareDsct,
+        TreeScheme::CapacityAwareNice}) {
+    MultiGroupConfig cfg;
+    cfg.scheme = scheme;
+    cfg.utilization = 0.6;
+    MultiGroupNetwork mg(test_network(), cfg);
+    for (int g = 0; g < mg.groups(); ++g) {
+      EXPECT_EQ(mg.tree(g).bfs_order().size(), 120u)
+          << to_string(scheme) << " group " << g;
+    }
+  }
+}
+
+TEST(MultiGroup, DeterministicForSeed) {
+  MultiGroupConfig cfg;
+  cfg.seed = 1234;
+  MultiGroupNetwork a(test_network(), cfg);
+  MultiGroupNetwork b(test_network(), cfg);
+  for (int g = 0; g < a.groups(); ++g) {
+    EXPECT_EQ(a.source(g), b.source(g));
+    for (std::size_t i = 0; i < a.tree(g).size(); ++i) {
+      EXPECT_EQ(a.tree(g).parent(i), b.tree(g).parent(i));
+    }
+  }
+}
+
+TEST(MultiGroup, RejectsBadConfig) {
+  MultiGroupConfig cfg;
+  cfg.groups = 0;
+  EXPECT_THROW(MultiGroupNetwork(test_network(), cfg), std::invalid_argument);
+}
+
+TEST(MultiGroup, SchemeNames) {
+  EXPECT_STREQ(to_string(TreeScheme::Dsct), "DSCT");
+  EXPECT_STREQ(to_string(TreeScheme::Nice), "NICE");
+  EXPECT_STREQ(to_string(TreeScheme::CapacityAwareDsct), "cap-aware DSCT");
+  EXPECT_STREQ(to_string(TreeScheme::CapacityAwareNice), "cap-aware NICE");
+}
+
+}  // namespace
+}  // namespace emcast::overlay

@@ -1,0 +1,138 @@
+// Parameterized invariants of the TurnSchedule across flow-set shapes:
+// the sigma*-synchronisation algebra of Theorem 1 must hold for every
+// admissible (sigma_i, rho_i) combination.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/turn_schedule.hpp"
+#include "netcalc/delay_bounds.hpp"
+#include "util/rng.hpp"
+
+namespace emcast::core {
+namespace {
+
+struct ScheduleCase {
+  int flows;
+  double total_util;  ///< sum of rho-hat
+  double sigma_spread; ///< max/min sigma ratio
+  std::uint64_t seed;
+};
+
+std::string sched_name(const testing::TestParamInfo<ScheduleCase>& info) {
+  const auto& c = info.param;
+  return "K" + std::to_string(c.flows) + "_u" +
+         std::to_string(static_cast<int>(c.total_util * 100)) + "_spread" +
+         std::to_string(static_cast<int>(c.sigma_spread)) + "_s" +
+         std::to_string(c.seed);
+}
+
+class TurnScheduleProperty : public testing::TestWithParam<ScheduleCase> {
+ protected:
+  std::vector<traffic::FlowSpec> make_flows() const {
+    const auto c = GetParam();
+    util::Rng rng(c.seed);
+    // Random positive rates normalised to the requested total utilisation.
+    std::vector<double> weights(static_cast<std::size_t>(c.flows));
+    double sum = 0;
+    for (auto& w : weights) {
+      w = rng.uniform(0.5, 1.5);
+      sum += w;
+    }
+    std::vector<traffic::FlowSpec> flows;
+    for (int i = 0; i < c.flows; ++i) {
+      const double rho_hat =
+          c.total_util * weights[static_cast<std::size_t>(i)] / sum;
+      const double sigma =
+          1000.0 * rng.uniform(1.0, c.sigma_spread);
+      flows.push_back({static_cast<FlowId>(i), sigma, rho_hat * kCapacity});
+    }
+    return flows;
+  }
+  static constexpr Rate kCapacity = 1e6;
+};
+
+TEST_P(TurnScheduleProperty, SlotsTileAndRespectStability) {
+  const auto flows = make_flows();
+  TurnSchedule s(flows, kCapacity);
+  // Slots are contiguous from offset 0 and fit within the period.
+  EXPECT_NEAR(s.slot_offset(0), 0.0, 1e-12);
+  double total = 0;
+  for (std::size_t i = 0; i < s.flow_count(); ++i) {
+    if (i > 0) {
+      EXPECT_NEAR(s.slot_offset(i),
+                  s.slot_offset(i - 1) + s.slot_length(i - 1), 1e-12);
+    }
+    EXPECT_GT(s.slot_length(i), 0.0);
+    total += s.slot_length(i);
+  }
+  EXPECT_LE(total, s.period() * (1.0 + 1e-9));
+  EXPECT_NEAR(s.idle_tail(), s.period() - total, 1e-9);
+}
+
+TEST_P(TurnScheduleProperty, SlotLengthIsRhoShareOfPeriod) {
+  const auto flows = make_flows();
+  TurnSchedule s(flows, kCapacity);
+  for (std::size_t i = 0; i < s.flow_count(); ++i) {
+    const double rho_hat = flows[i].rho / kCapacity;
+    EXPECT_NEAR(s.slot_length(i), rho_hat * s.period(), 1e-9) << i;
+  }
+}
+
+TEST_P(TurnScheduleProperty, PeriodMatchesSigmaStarAlgebra) {
+  // P = min_j sigma-hat_j/(rho-hat_j (1-rho-hat_j)) and sigma*_i carries
+  // exactly one slot at line rate: sigma*_i = W_i (1-rho-hat_i) C.
+  const auto flows = make_flows();
+  TurnSchedule s(flows, kCapacity);
+  double min_period = 1e300;
+  for (const auto& f : flows) {
+    const auto n = f.normalized(kCapacity);
+    min_period = std::min(min_period, n.sigma / (n.rho * (1.0 - n.rho)));
+  }
+  EXPECT_NEAR(s.period(), min_period, min_period * 1e-9);
+  const auto stars = netcalc::sigma_star(netcalc::normalize(flows, kCapacity));
+  for (std::size_t i = 0; i < s.flow_count(); ++i) {
+    EXPECT_NEAR(s.sigma_star_bits(i), stars[i] * kCapacity,
+                stars[i] * kCapacity * 1e-9)
+        << i;
+  }
+}
+
+TEST_P(TurnScheduleProperty, SlotAtIsConsistentWithOffsets) {
+  const auto flows = make_flows();
+  TurnSchedule s(flows, kCapacity);
+  for (std::size_t i = 0; i < s.flow_count(); ++i) {
+    const Time mid = s.slot_offset(i) + 0.5 * s.slot_length(i);
+    EXPECT_EQ(s.slot_at(mid), i);
+  }
+  if (s.idle_tail() > 1e-9) {
+    EXPECT_EQ(s.slot_at(s.period() - 0.5 * s.idle_tail()), s.flow_count());
+  }
+}
+
+TEST_P(TurnScheduleProperty, VacationDominatedByOtherSlotsAtSaturation) {
+  // Section III's rationale: V_i >= sum of the other flows' slots (equality
+  // as total utilisation -> 1).
+  const auto flows = make_flows();
+  TurnSchedule s(flows, kCapacity);
+  for (std::size_t i = 0; i < s.flow_count(); ++i) {
+    double others = 0;
+    for (std::size_t j = 0; j < s.flow_count(); ++j) {
+      if (j != i) others += s.slot_length(j);
+    }
+    EXPECT_GE(s.vacation(i) + 1e-9, others) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TurnScheduleProperty,
+    testing::Values(ScheduleCase{2, 0.3, 1, 1}, ScheduleCase{2, 0.95, 4, 2},
+                    ScheduleCase{3, 0.5, 1, 3}, ScheduleCase{3, 0.9, 10, 4},
+                    ScheduleCase{4, 0.7, 2, 5}, ScheduleCase{6, 0.6, 8, 6},
+                    ScheduleCase{8, 0.85, 3, 7},
+                    ScheduleCase{12, 0.95, 5, 8}),
+    sched_name);
+
+}  // namespace
+}  // namespace emcast::core

@@ -1,0 +1,181 @@
+// Parameterized sweeps over the analytical layer: the theorem formulas
+// must satisfy their own side conditions for every K, and the bound
+// algebra must be internally consistent.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "netcalc/delay_bounds.hpp"
+#include "netcalc/dsct_bounds.hpp"
+#include "netcalc/improvement.hpp"
+#include "netcalc/threshold.hpp"
+#include "util/rng.hpp"
+
+namespace emcast::netcalc {
+namespace {
+
+class ThresholdPerK : public testing::TestWithParam<int> {};
+
+TEST_P(ThresholdPerK, RhoStarSolvesItsDefiningEquation) {
+  const int k = GetParam();
+  const double het = rho_star_heterogeneous(k);
+  EXPECT_NEAR(g1(k, het), g2(k, het), std::abs(g2(k, het)) * 1e-9);
+}
+
+TEST_P(ThresholdPerK, OrderingFlipsExactlyAtRhoStar) {
+  const int k = GetParam();
+  const double r = rho_star_heterogeneous(k);
+  const double eps = r * 1e-3;
+  EXPECT_GT(g1(k, r - eps), g2(k, r - eps));
+  EXPECT_LT(g1(k, r + eps), g2(k, r + eps));
+}
+
+TEST_P(ThresholdPerK, ControlRangeApproachesLimitFromBelow) {
+  // The control range grows with K toward its asymptote (5-sqrt(21))/2 but
+  // never exceeds it.
+  const int k = GetParam();
+  const double range = control_range_ratio(rho_star_heterogeneous(k), k);
+  EXPECT_LT(range, control_range_limit_heterogeneous() + 1e-9);
+  EXPECT_GT(range, 0.10);
+  if (k >= 64) {
+    EXPECT_NEAR(range, control_range_limit_heterogeneous(), 5e-3);
+  }
+}
+
+TEST_P(ThresholdPerK, HomThresholdBelowHetThreshold) {
+  const int k = GetParam();
+  EXPECT_LT(rho_star_homogeneous(k), rho_star_heterogeneous(k));
+}
+
+TEST_P(ThresholdPerK, ImprovementExceedsOneAboveThreshold) {
+  const int k = GetParam();
+  const double r = rho_star_homogeneous(k);
+  const double above = r + 0.9 * (1.0 / k - r);
+  EXPECT_GT(improvement_exact_homogeneous(k, above), 1.0);
+  const double below = 0.5 * r;
+  EXPECT_LT(improvement_exact_homogeneous(k, below), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, ThresholdPerK,
+                         testing::Values(2, 3, 4, 5, 6, 8, 10, 16, 32, 64,
+                                         128, 512),
+                         [](const testing::TestParamInfo<int>& i) {
+                           return "K" + std::to_string(i.param);
+                         });
+
+struct FlowSetCase {
+  int flows;
+  double total_util;
+  std::uint64_t seed;
+};
+
+class BoundAlgebra : public testing::TestWithParam<FlowSetCase> {
+ protected:
+  std::vector<NormFlow> make_flows() const {
+    const auto c = GetParam();
+    util::Rng rng(c.seed);
+    std::vector<double> w(static_cast<std::size_t>(c.flows));
+    double sum = 0;
+    for (auto& x : w) {
+      x = rng.uniform(0.3, 1.7);
+      sum += x;
+    }
+    std::vector<NormFlow> flows;
+    for (int i = 0; i < c.flows; ++i) {
+      flows.push_back({rng.uniform(0.001, 0.05),
+                       c.total_util * w[static_cast<std::size_t>(i)] / sum});
+    }
+    return flows;
+  }
+};
+
+TEST_P(BoundAlgebra, SigmaStarPreservesMinAndNeverExceedsSigma) {
+  const auto flows = make_flows();
+  const auto stars = sigma_star(flows);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_LE(stars[i], flows[i].sigma * (1.0 + 1e-9)) << i;
+    EXPECT_GT(stars[i], 0.0) << i;
+  }
+  // At least one flow attains sigma* = sigma (the one defining the min).
+  bool attained = false;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (std::abs(stars[i] - flows[i].sigma) < flows[i].sigma * 1e-9) {
+      attained = true;
+    }
+  }
+  EXPECT_TRUE(attained);
+}
+
+TEST_P(BoundAlgebra, Theorem1BoundIsPositiveAndFinite) {
+  const auto flows = make_flows();
+  const double d = theorem1_wdb_lambda(flows);
+  EXPECT_GT(d, 0.0);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST_P(BoundAlgebra, MulticastBoundScalesLinearlyInHops) {
+  const auto flows = make_flows();
+  const double one = theorem7_wdb_lambda(flows, 2);
+  for (int h = 3; h <= 9; h += 2) {
+    EXPECT_NEAR(theorem7_wdb_lambda(flows, h), (h - 1) * one, one * 1e-9);
+  }
+}
+
+TEST_P(BoundAlgebra, PlainBoundMonotoneInUtilization) {
+  auto flows = make_flows();
+  const double base = remark1_wdb_plain(flows);
+  for (auto& f : flows) f.rho *= 1.02;  // push closer to saturation
+  double sum = 0;
+  for (const auto& f : flows) sum += f.rho;
+  if (sum < 1.0) {
+    EXPECT_GT(remark1_wdb_plain(flows), base);
+  }
+}
+
+TEST_P(BoundAlgebra, Lemma1DelayDecomposition) {
+  const auto flows = make_flows();
+  for (const auto& f : flows) {
+    // sigma* = sigma: pure vacation term.  sigma* > sigma adds the excess
+    // linearly.
+    const double base = lemma1_regulator_delay(f.sigma, f.sigma, f.rho);
+    const double excess =
+        lemma1_regulator_delay(f.sigma * 2.0, f.sigma, f.rho);
+    EXPECT_NEAR(excess - base, f.sigma / f.rho, f.sigma / f.rho * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FlowSets, BoundAlgebra,
+    testing::Values(FlowSetCase{2, 0.4, 11}, FlowSetCase{3, 0.9, 12},
+                    FlowSetCase{3, 0.6, 13}, FlowSetCase{5, 0.8, 14},
+                    FlowSetCase{7, 0.95, 15}, FlowSetCase{10, 0.5, 16}),
+    [](const testing::TestParamInfo<FlowSetCase>& i) {
+      return "K" + std::to_string(i.param.flows) + "_u" +
+             std::to_string(static_cast<int>(i.param.total_util * 100)) +
+             "_s" + std::to_string(i.param.seed);
+    });
+
+class Lemma2PerK : public testing::TestWithParam<int> {};
+
+TEST_P(Lemma2PerK, HeightBoundCoversGeometricGrowth) {
+  // k^(H-1) clusters of size >= k cover at least k^(H-1) members, so any n
+  // below that must have H within the bound; check the bound is tight to
+  // within one layer of the pure log.
+  const int k = GetParam();
+  for (long long n : {5LL, 17LL, 64LL, 200LL, 665LL, 4000LL}) {
+    const int h = lemma2_height_bound(n, k);
+    const double exact = std::log(static_cast<double>(n)) /
+                         std::log(static_cast<double>(k));
+    EXPECT_GE(h + 1e-9, exact) << "n=" << n;
+    EXPECT_LE(h, static_cast<int>(exact) + 2) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, Lemma2PerK, testing::Values(2, 3, 4, 5, 8),
+                         [](const testing::TestParamInfo<int>& i) {
+                           return "k" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace emcast::netcalc

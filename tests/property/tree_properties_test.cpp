@@ -1,0 +1,183 @@
+// Parameterized structural invariants of the overlay tree builders across
+// group sizes, cluster parameters, schemes and seeds.
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "netcalc/dsct_bounds.hpp"
+#include "overlay/capacity_aware.hpp"
+#include "overlay/dsct.hpp"
+#include "overlay/nice.hpp"
+#include "util/rng.hpp"
+
+namespace emcast::overlay {
+namespace {
+
+struct TreeCase {
+  std::size_t members;
+  std::size_t k;
+  int domains;
+  std::uint64_t seed;
+};
+
+std::string tree_name(const testing::TestParamInfo<TreeCase>& info) {
+  const auto& c = info.param;
+  return "n" + std::to_string(c.members) + "_k" + std::to_string(c.k) +
+         "_d" + std::to_string(c.domains) + "_s" + std::to_string(c.seed);
+}
+
+struct Geo {
+  std::vector<Member> members;
+  std::vector<int> domain;
+  RttFn rtt;
+};
+
+Geo make_geo(const TreeCase& c) {
+  Geo g;
+  g.members.resize(c.members);
+  g.domain.resize(c.members);
+  util::Rng rng(c.seed * 77 + 1);
+  for (std::size_t i = 0; i < c.members; ++i) {
+    g.members[i] = Member{i, static_cast<NodeId>(i)};
+    g.domain[i] = static_cast<int>(
+        rng.uniform_int(0, c.domains - 1));
+  }
+  auto domain = g.domain;
+  g.rtt = [domain](std::size_t a, std::size_t b) {
+    const double base = (domain[a] == domain[b]) ? 0.002 : 0.030;
+    return base + 1e-6 * static_cast<double>((a * 131 + b * 37) % 1009);
+  };
+  return g;
+}
+
+class TreeBuilderProperty : public testing::TestWithParam<TreeCase> {};
+
+TEST_P(TreeBuilderProperty, DsctSpansAllMembersFromAnySource) {
+  const auto c = GetParam();
+  const auto g = make_geo(c);
+  DsctConfig cfg;
+  cfg.k = c.k;
+  cfg.seed = c.seed;
+  for (std::size_t source : {std::size_t{0}, c.members / 2, c.members - 1}) {
+    const auto t = build_dsct(g.members, g.domain, g.rtt, source, cfg);
+    EXPECT_EQ(t.root(), source);
+    EXPECT_EQ(t.bfs_order().size(), c.members);
+  }
+}
+
+TEST_P(TreeBuilderProperty, NiceSpansAllMembers) {
+  const auto c = GetParam();
+  const auto g = make_geo(c);
+  NiceConfig cfg;
+  cfg.k = c.k;
+  cfg.seed = c.seed;
+  const auto t = build_nice(g.members, g.rtt, 0, cfg);
+  EXPECT_EQ(t.bfs_order().size(), c.members);
+}
+
+TEST_P(TreeBuilderProperty, LayerCountWithinLemma2PlusDomainSplit) {
+  const auto c = GetParam();
+  const auto g = make_geo(c);
+  DsctConfig cfg;
+  cfg.k = c.k;
+  cfg.seed = c.seed;
+  const auto t = build_dsct(g.members, g.domain, g.rtt, 0, cfg);
+  const int bound = netcalc::lemma2_height_bound(
+      static_cast<long long>(c.members), static_cast<int>(c.k));
+  EXPECT_LE(t.hierarchy_layers(), bound + 2);
+  EXPECT_GE(t.hierarchy_layers(), 1);
+}
+
+TEST_P(TreeBuilderProperty, HeightBoundedByLayersAfterReroot) {
+  // Re-rooting at the source can at most double the height relative to
+  // the hierarchy-rooted tree (path root->source is itself bounded by the
+  // original height).
+  const auto c = GetParam();
+  const auto g = make_geo(c);
+  DsctConfig cfg;
+  cfg.k = c.k;
+  cfg.seed = c.seed;
+  const auto t = build_dsct(g.members, g.domain, g.rtt, c.members / 3, cfg);
+  EXPECT_LE(t.height_hops(), 2 * t.hierarchy_layers() + 1);
+}
+
+TEST_P(TreeBuilderProperty, DepthsAreConsistentWithParents) {
+  const auto c = GetParam();
+  const auto g = make_geo(c);
+  NiceConfig cfg;
+  cfg.k = c.k;
+  cfg.seed = c.seed;
+  const auto t = build_nice(g.members, g.rtt, 0, cfg);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i == t.root()) {
+      EXPECT_EQ(t.depth(i), 0);
+    } else {
+      EXPECT_EQ(t.depth(i), t.depth(t.parent(i)) + 1);
+    }
+  }
+}
+
+TEST_P(TreeBuilderProperty, PathFromRootMatchesDepth) {
+  const auto c = GetParam();
+  const auto g = make_geo(c);
+  DsctConfig cfg;
+  cfg.k = c.k;
+  cfg.seed = c.seed;
+  const auto t = build_dsct(g.members, g.domain, g.rtt, 0, cfg);
+  for (std::size_t i = 0; i < t.size(); i += 13) {
+    const auto path = t.path_from_root(i);
+    EXPECT_EQ(static_cast<int>(path.size()), t.depth(i) + 1) << i;
+    EXPECT_EQ(path.front(), t.root());
+    EXPECT_EQ(path.back(), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeBuilderProperty,
+    testing::Values(TreeCase{10, 3, 2, 1}, TreeCase{47, 3, 5, 2},
+                    TreeCase{100, 2, 4, 3}, TreeCase{100, 4, 4, 4},
+                    TreeCase{233, 3, 10, 5}, TreeCase{665, 3, 19, 6},
+                    TreeCase{665, 5, 19, 7}, TreeCase{1200, 3, 19, 8}),
+    tree_name);
+
+class BudgetedTreeProperty : public testing::TestWithParam<TreeCase> {};
+
+TEST_P(BudgetedTreeProperty, SharedBudgetIsRespectedAcrossTrees) {
+  // Build 3 capacity-aware trees drawing on one budget pool and verify no
+  // host's total child count exceeds its initial budget (modulo the
+  // documented overload fallback, which we detect by exhausted budget).
+  const auto c = GetParam();
+  const auto g = make_geo(c);
+  CapacityAwareConfig cfg;
+  cfg.utilization = 0.75;
+  cfg.seed = c.seed;
+  const std::size_t initial = capacity_child_budget(cfg, 3);
+  std::vector<std::size_t> budget(c.members, initial);
+  cfg.budget = &budget;
+  std::vector<MulticastTree> trees;
+  for (int gi = 0; gi < 3; ++gi) {
+    trees.push_back(
+        build_capacity_aware_dsct(g.members, g.domain, g.rtt, 0, cfg));
+  }
+  std::size_t overfull_hosts = 0;
+  for (std::size_t h = 0; h < c.members; ++h) {
+    std::size_t children = 0;
+    for (const auto& t : trees) children += t.children(h).size();
+    if (children > initial) ++overfull_hosts;
+  }
+  // The fallback path deliberately overloads some hosts once the pool is
+  // tight (the scheme's documented failure mode); it must stay a small
+  // minority.
+  EXPECT_LE(overfull_hosts, c.members / 8 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BudgetedTreeProperty,
+    testing::Values(TreeCase{100, 3, 4, 21}, TreeCase{300, 3, 10, 22},
+                    TreeCase{665, 3, 19, 23}),
+    tree_name);
+
+}  // namespace
+}  // namespace emcast::overlay

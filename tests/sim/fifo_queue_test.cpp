@@ -1,0 +1,79 @@
+#include "sim/fifo_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::sim {
+namespace {
+
+Packet make_packet(std::uint64_t id, Bits size) {
+  Packet p;
+  p.id = id;
+  p.size = size;
+  return p;
+}
+
+TEST(FifoQueue, StartsEmpty) {
+  FifoQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_DOUBLE_EQ(q.backlog_bits(), 0.0);
+  EXPECT_EQ(q.front(), nullptr);
+}
+
+TEST(FifoQueue, FifoOrder) {
+  FifoQueue q;
+  q.push(make_packet(1, 100));
+  q.push(make_packet(2, 100));
+  q.push(make_packet(3, 100));
+  EXPECT_EQ(q.pop().id, 1u);
+  EXPECT_EQ(q.pop().id, 2u);
+  EXPECT_EQ(q.pop().id, 3u);
+}
+
+TEST(FifoQueue, BacklogAccountsBits) {
+  FifoQueue q;
+  q.push(make_packet(1, 100));
+  q.push(make_packet(2, 250));
+  EXPECT_DOUBLE_EQ(q.backlog_bits(), 350.0);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.backlog_bits(), 250.0);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.backlog_bits(), 0.0);
+}
+
+TEST(FifoQueue, PeakBacklogIsHighWaterMark) {
+  FifoQueue q;
+  q.push(make_packet(1, 100));
+  q.push(make_packet(2, 200));
+  q.pop();
+  q.push(make_packet(3, 50));
+  EXPECT_DOUBLE_EQ(q.peak_backlog_bits(), 300.0);
+}
+
+TEST(FifoQueue, FrontPeeksWithoutRemoving) {
+  FifoQueue q;
+  q.push(make_packet(7, 64));
+  ASSERT_NE(q.front(), nullptr);
+  EXPECT_EQ(q.front()->id, 7u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(FifoQueue, TotalEnqueuedIsCumulative) {
+  FifoQueue q;
+  for (int i = 0; i < 5; ++i) q.push(make_packet(static_cast<std::uint64_t>(i), 10));
+  while (!q.empty()) q.pop();
+  q.push(make_packet(99, 10));
+  EXPECT_EQ(q.total_enqueued(), 6u);
+}
+
+TEST(FifoQueue, ClearResetsBacklogButNotPeak) {
+  FifoQueue q;
+  q.push(make_packet(1, 500));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.backlog_bits(), 0.0);
+  EXPECT_DOUBLE_EQ(q.peak_backlog_bits(), 500.0);
+}
+
+}  // namespace
+}  // namespace emcast::sim

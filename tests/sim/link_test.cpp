@@ -1,0 +1,96 @@
+#include "sim/link.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace emcast::sim {
+namespace {
+
+Packet make_packet(std::uint64_t id, Bits size, Time created = 0.0) {
+  Packet p;
+  p.id = id;
+  p.size = size;
+  p.created = created;
+  return p;
+}
+
+TEST(Link, DeliversAfterTransmissionPlusPropagation) {
+  Simulator sim;
+  Link link(sim, 1000.0, 0.5);  // 1 kbit/s, 500 ms propagation
+  Time arrival = -1;
+  link.send(make_packet(1, 100), [&](Packet) { arrival = sim.now(); });
+  sim.run();
+  // tx = 100/1000 = 0.1 s, + 0.5 s propagation.
+  EXPECT_NEAR(arrival, 0.6, 1e-12);
+}
+
+TEST(Link, SerializesBackToBackPackets) {
+  Simulator sim;
+  Link link(sim, 1000.0, 0.0);
+  std::vector<Time> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    link.send(make_packet(static_cast<std::uint64_t>(i), 100),
+              [&](Packet) { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.1, 1e-12);
+  EXPECT_NEAR(arrivals[1], 0.2, 1e-12);
+  EXPECT_NEAR(arrivals[2], 0.3, 1e-12);
+}
+
+TEST(Link, IdleGapDoesNotAccumulate) {
+  Simulator sim;
+  Link link(sim, 1000.0, 0.0);
+  Time second = -1;
+  link.send(make_packet(1, 100), [](Packet) {});
+  sim.schedule_at(5.0, [&] {
+    link.send(make_packet(2, 100), [&](Packet) { second = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(second, 5.1, 1e-12);  // restarts from now, not busy_until
+}
+
+TEST(Link, SetsHopArrivalOnDelivery) {
+  Simulator sim;
+  Link link(sim, 1e6, 0.25);
+  Time hop = -1;
+  link.send(make_packet(1, 1000), [&](Packet p) { hop = p.hop_arrival; });
+  sim.run();
+  EXPECT_NEAR(hop, 0.001 + 0.25, 1e-12);
+}
+
+TEST(Link, CountsPackets) {
+  Simulator sim;
+  Link link(sim, 1e6, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    link.send(make_packet(static_cast<std::uint64_t>(i), 8), [](Packet) {});
+  }
+  EXPECT_EQ(link.packets_sent(), 4u);
+}
+
+TEST(Link, RejectsBadParameters) {
+  Simulator sim;
+  EXPECT_THROW(Link(sim, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(Link(sim, -5.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(Link(sim, 1e6, -0.1), std::invalid_argument);
+}
+
+TEST(Link, ThroughputMatchesCapacityUnderSaturation) {
+  Simulator sim;
+  const Rate capacity = 1e6;
+  Link link(sim, capacity, 0.0);
+  Bits delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    link.send(make_packet(static_cast<std::uint64_t>(i), 1000),
+              [&](Packet p) { delivered += p.size; });
+  }
+  sim.run();
+  // 1000 packets x 1000 bits at 1 Mbit/s = exactly 1 second.
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(delivered, 1e6);
+}
+
+}  // namespace
+}  // namespace emcast::sim

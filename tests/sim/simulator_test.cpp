@@ -1,0 +1,107 @@
+#include "sim/simulator.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace emcast::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Time> observed;
+  sim.schedule_at(1.5, [&] { observed.push_back(sim.now()); });
+  sim.schedule_at(0.5, [&] { observed.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(observed, (std::vector<Time>{0.5, 1.5}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired = -1;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(0.5, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired, 2.5);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run(5.0);
+  EXPECT_EQ(fired, 1);
+  // The later event is still pending and fires on the next run.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunAdvancesClockToHorizonWhenIdle) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 100) sim.schedule_in(0.01, step);
+  };
+  sim.schedule_in(0.01, step);
+  sim.run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(static_cast<double>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, ZeroDelayEventFiresAtSameTimestamp) {
+  Simulator sim;
+  Time fired = -1;
+  sim.schedule_at(3.0, [&] {
+    sim.schedule_in(0.0, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired, 3.0);
+}
+
+}  // namespace
+}  // namespace emcast::sim

@@ -1,0 +1,75 @@
+#include "sim/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::sim {
+namespace {
+
+Packet make_packet(FlowId flow, Time created) {
+  Packet p;
+  p.flow = flow;
+  p.created = created;
+  return p;
+}
+
+TEST(DelayTracer, RecordsAge) {
+  DelayTracer t;
+  t.record(make_packet(0, 1.0), 1.5);
+  EXPECT_EQ(t.all().count(), 1u);
+  EXPECT_DOUBLE_EQ(t.worst_case(), 0.5);
+}
+
+TEST(DelayTracer, WorstCaseIsMaximum) {
+  DelayTracer t;
+  t.record(make_packet(0, 0.0), 0.3);
+  t.record(make_packet(0, 0.0), 0.9);
+  t.record(make_packet(0, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(t.worst_case(), 0.9);
+}
+
+TEST(DelayTracer, WarmupSamplesDropped) {
+  DelayTracer t(2.0);
+  t.record(make_packet(0, 0.0), 1.0);   // inside warm-up
+  t.record(make_packet(0, 2.5), 3.0);   // after warm-up
+  EXPECT_EQ(t.all().count(), 1u);
+  EXPECT_EQ(t.dropped_warmup(), 1u);
+  EXPECT_DOUBLE_EQ(t.worst_case(), 0.5);
+}
+
+TEST(DelayTracer, PerFlowBreakdown) {
+  DelayTracer t;
+  t.record(make_packet(1, 0.0), 0.2);
+  t.record(make_packet(2, 0.0), 0.4);
+  t.record(make_packet(1, 0.0), 0.6);
+  EXPECT_EQ(t.flow(1).count(), 2u);
+  EXPECT_EQ(t.flow(2).count(), 1u);
+  EXPECT_DOUBLE_EQ(t.flow(1).max(), 0.6);
+  EXPECT_DOUBLE_EQ(t.flow(2).max(), 0.4);
+}
+
+TEST(DelayTracer, UnknownFlowIsEmpty) {
+  DelayTracer t;
+  EXPECT_EQ(t.flow(42).count(), 0u);
+}
+
+TEST(DelayTracer, EmptyWorstCaseIsZero) {
+  DelayTracer t;
+  EXPECT_DOUBLE_EQ(t.worst_case(), 0.0);
+}
+
+TEST(DelayTracer, SetWarmupTakesEffect) {
+  DelayTracer t;
+  t.set_warmup(10.0);
+  EXPECT_DOUBLE_EQ(t.warmup(), 10.0);
+  t.record(make_packet(0, 0.0), 5.0);
+  EXPECT_EQ(t.all().count(), 0u);
+}
+
+TEST(DelayTracer, RecordDelayExplicitValue) {
+  DelayTracer t;
+  t.record_delay(3, 0.125, 1.0);
+  EXPECT_DOUBLE_EQ(t.flow(3).max(), 0.125);
+}
+
+}  // namespace
+}  // namespace emcast::sim

@@ -1,0 +1,97 @@
+#include "topology/backbone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/host_attachment.hpp"
+#include "topology/shortest_path.hpp"
+
+namespace emcast::topology {
+namespace {
+
+TEST(Backbone, HasNineteenRouters) {
+  const auto g = make_fig5_backbone();
+  EXPECT_EQ(g.node_count(), kBackboneRouterCount);
+  EXPECT_EQ(g.node_count(), 19u);
+}
+
+TEST(Backbone, IsConnected) {
+  EXPECT_TRUE(make_fig5_backbone().connected());
+}
+
+TEST(Backbone, EveryRouterHasDegreeAtLeastTwo) {
+  const auto g = make_fig5_backbone();
+  for (NodeId n = 0; n < static_cast<NodeId>(g.node_count()); ++n) {
+    EXPECT_GE(g.degree(n), 2u) << "router " << n;
+  }
+}
+
+TEST(Backbone, DelaysInMillisecondRange) {
+  const auto g = make_fig5_backbone();
+  for (NodeId n = 0; n < static_cast<NodeId>(g.node_count()); ++n) {
+    for (const auto& e : g.neighbors(n)) {
+      EXPECT_GE(e.delay, 0.005);
+      EXPECT_LE(e.delay, 0.030);
+    }
+  }
+}
+
+TEST(Backbone, DelayScaleMultiplies) {
+  BackboneConfig c;
+  c.delay_scale = 2.0;
+  const auto g1 = make_fig5_backbone();
+  const auto g2 = make_fig5_backbone(c);
+  EXPECT_DOUBLE_EQ(g2.neighbors(0)[0].delay, 2.0 * g1.neighbors(0)[0].delay);
+}
+
+TEST(HostAttachment, AttachesRequestedHostCount) {
+  const auto backbone = make_fig5_backbone();
+  HostAttachmentConfig c;
+  c.host_count = 100;
+  const auto net = attach_hosts(backbone, c);
+  EXPECT_EQ(net.hosts.size(), 100u);
+  EXPECT_EQ(net.graph.node_count(), backbone.node_count() + 100);
+  EXPECT_EQ(net.router_count, backbone.node_count());
+}
+
+TEST(HostAttachment, HostsAttachToRouters) {
+  const auto backbone = make_fig5_backbone();
+  HostAttachmentConfig c;
+  c.host_count = 50;
+  const auto net = attach_hosts(backbone, c);
+  for (std::size_t i = 0; i < net.hosts.size(); ++i) {
+    EXPECT_FALSE(net.is_router(net.hosts[i]));
+    EXPECT_TRUE(net.is_router(net.attachment[i]));
+    EXPECT_TRUE(net.graph.has_edge(net.hosts[i], net.attachment[i]));
+    EXPECT_EQ(net.graph.degree(net.hosts[i]), 1u);  // exactly one access link
+  }
+}
+
+TEST(HostAttachment, ResultingNetworkIsConnected) {
+  const auto backbone = make_fig5_backbone();
+  HostAttachmentConfig c;
+  c.host_count = 200;
+  EXPECT_TRUE(attach_hosts(backbone, c).graph.connected());
+}
+
+TEST(HostAttachment, DeterministicForSeed) {
+  const auto backbone = make_fig5_backbone();
+  HostAttachmentConfig c;
+  c.host_count = 30;
+  c.seed = 5;
+  const auto a = attach_hosts(backbone, c);
+  const auto b = attach_hosts(backbone, c);
+  EXPECT_EQ(a.attachment, b.attachment);
+}
+
+TEST(HostAttachment, SpreadsAcrossRouters) {
+  const auto backbone = make_fig5_backbone();
+  HostAttachmentConfig c;
+  c.host_count = 665;
+  const auto net = attach_hosts(backbone, c);
+  std::vector<int> per_router(backbone.node_count(), 0);
+  for (NodeId r : net.attachment) ++per_router[static_cast<std::size_t>(r)];
+  for (int count : per_router) EXPECT_GT(count, 10);  // 665/19 = 35 expected
+}
+
+}  // namespace
+}  // namespace emcast::topology

@@ -1,0 +1,83 @@
+#include "topology/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::topology {
+namespace {
+
+TEST(Waxman, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WaxmanConfig c;
+    c.nodes = 30;
+    c.seed = seed;
+    EXPECT_TRUE(make_waxman(c).connected()) << "seed " << seed;
+  }
+}
+
+TEST(Waxman, NodeCountRespected) {
+  WaxmanConfig c;
+  c.nodes = 25;
+  EXPECT_EQ(make_waxman(c).node_count(), 25u);
+}
+
+TEST(Waxman, AtLeastSpanningTreeEdges) {
+  WaxmanConfig c;
+  c.nodes = 40;
+  EXPECT_GE(make_waxman(c).edge_count(), 39u);
+}
+
+TEST(Waxman, DeterministicForSeed) {
+  WaxmanConfig c;
+  c.nodes = 20;
+  c.seed = 9;
+  const auto a = make_waxman(c);
+  const auto b = make_waxman(c);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+}
+
+TEST(Waxman, HigherBetaGivesMoreEdges) {
+  WaxmanConfig lo, hi;
+  lo.nodes = hi.nodes = 50;
+  lo.beta = 0.1;
+  hi.beta = 0.9;
+  EXPECT_LT(make_waxman(lo).edge_count(), make_waxman(hi).edge_count());
+}
+
+TEST(Waxman, RejectsTooFewNodes) {
+  WaxmanConfig c;
+  c.nodes = 1;
+  EXPECT_THROW(make_waxman(c), std::invalid_argument);
+}
+
+TEST(RingLattice, RegularDegree) {
+  RingLatticeConfig c;
+  c.nodes = 10;
+  c.neighbors = 2;
+  const auto g = make_ring_lattice(c);
+  for (NodeId n = 0; n < 10; ++n) EXPECT_EQ(g.degree(n), 4u);
+}
+
+TEST(RingLattice, Connected) {
+  RingLatticeConfig c;
+  c.nodes = 15;
+  EXPECT_TRUE(make_ring_lattice(c).connected());
+}
+
+TEST(RingLattice, EdgeCount) {
+  RingLatticeConfig c;
+  c.nodes = 12;
+  c.neighbors = 2;
+  EXPECT_EQ(make_ring_lattice(c).edge_count(), 24u);
+}
+
+TEST(RingLattice, RejectsBadConfig) {
+  RingLatticeConfig c;
+  c.nodes = 2;
+  EXPECT_THROW(make_ring_lattice(c), std::invalid_argument);
+  c.nodes = 10;
+  c.neighbors = 0;
+  EXPECT_THROW(make_ring_lattice(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emcast::topology

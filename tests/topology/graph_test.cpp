@@ -1,0 +1,79 @@
+#include "topology/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::topology {
+namespace {
+
+TEST(Graph, StartsWithGivenNodeCount) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0);
+  EXPECT_EQ(g.add_node(), 1);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Graph, AddEdgeIsUndirected) {
+  Graph g(3);
+  g.add_edge(0, 1, 0.01, 1e6);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, NeighborsCarryDelayAndCapacity) {
+  Graph g(2);
+  g.add_edge(0, 1, 0.025, 5e6);
+  const auto& nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0].to, 1);
+  EXPECT_DOUBLE_EQ(nbrs[0].delay, 0.025);
+  EXPECT_DOUBLE_EQ(nbrs[0].capacity, 5e6);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1, 0.01, 1e6), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadEndpoints) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 0.01, 1e6), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 1, 0.01, 1e6), std::out_of_range);
+}
+
+TEST(Graph, RejectsBadWeights) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, -0.01, 1e6), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 0.01, 0.0), std::invalid_argument);
+}
+
+TEST(Graph, ConnectedDetectsComponents) {
+  Graph g(4);
+  g.add_edge(0, 1, 0.01, 1e6);
+  g.add_edge(2, 3, 0.01, 1e6);
+  EXPECT_FALSE(g.connected());
+  g.add_edge(1, 2, 0.01, 1e6);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, SingletonIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.connected());
+}
+
+}  // namespace
+}  // namespace emcast::topology

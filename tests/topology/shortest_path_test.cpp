@@ -1,0 +1,102 @@
+#include "topology/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::topology {
+namespace {
+
+// Small weighted graph with a known shortest-path structure:
+//   0 -1ms- 1 -1ms- 2
+//   0 ---------5ms--- 2
+Graph make_triangle() {
+  Graph g(3);
+  g.add_edge(0, 1, 0.001, 1e6);
+  g.add_edge(1, 2, 0.001, 1e6);
+  g.add_edge(0, 2, 0.005, 1e6);
+  return g;
+}
+
+TEST(Dijkstra, PrefersMultiHopWhenCheaper) {
+  const auto g = make_triangle();
+  const auto tree = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.distance[1], 0.001);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 0.002);  // via node 1, not direct
+  EXPECT_EQ(tree.predecessor[2], 1);
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  Graph g(3);
+  g.add_edge(0, 1, 0.001, 1e6);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_EQ(tree.distance[2], kTimeInfinity);
+  EXPECT_EQ(tree.predecessor[2], kInvalidNode);
+}
+
+TEST(ExtractPath, ReconstructsNodeSequence) {
+  const auto g = make_triangle();
+  const auto tree = dijkstra(g, 0);
+  const auto path = extract_path(tree, 0, 2);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(ExtractPath, SourceToItself) {
+  const auto g = make_triangle();
+  const auto tree = dijkstra(g, 0);
+  const auto path = extract_path(tree, 0, 0);
+  EXPECT_EQ(path, (std::vector<NodeId>{0}));
+}
+
+TEST(ExtractPath, EmptyWhenUnreachable) {
+  Graph g(2);
+  const auto tree = dijkstra(g, 0);
+  EXPECT_TRUE(extract_path(tree, 0, 1).empty());
+}
+
+TEST(DelayMatrix, SymmetricAndConsistentWithDijkstra) {
+  const auto g = make_triangle();
+  DelayMatrix m(g);
+  EXPECT_EQ(m.size(), 3u);
+  for (NodeId a = 0; a < 3; ++a) {
+    const auto tree = dijkstra(g, a);
+    for (NodeId b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(m.at(a, b), tree.distance[static_cast<std::size_t>(b)]);
+      EXPECT_DOUBLE_EQ(m.at(a, b), m.at(b, a));
+    }
+  }
+}
+
+TEST(DelayMatrix, RttIsTwiceOneWay) {
+  const auto g = make_triangle();
+  DelayMatrix m(g);
+  EXPECT_DOUBLE_EQ(m.rtt(0, 2), 0.004);
+}
+
+TEST(DelayMatrix, DiagonalIsZero) {
+  const auto g = make_triangle();
+  DelayMatrix m(g);
+  for (NodeId a = 0; a < 3; ++a) EXPECT_DOUBLE_EQ(m.at(a, a), 0.0);
+}
+
+TEST(Dijkstra, TriangleInequalityHoldsOnBackbone) {
+  // Property check on a bigger graph: d(a,c) <= d(a,b) + d(b,c).
+  Graph g(6);
+  g.add_edge(0, 1, 0.010, 1e6);
+  g.add_edge(1, 2, 0.012, 1e6);
+  g.add_edge(2, 3, 0.007, 1e6);
+  g.add_edge(3, 4, 0.009, 1e6);
+  g.add_edge(4, 5, 0.011, 1e6);
+  g.add_edge(5, 0, 0.013, 1e6);
+  g.add_edge(1, 4, 0.02, 1e6);
+  DelayMatrix m(g);
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = 0; b < 6; ++b) {
+      for (NodeId c = 0; c < 6; ++c) {
+        EXPECT_LE(m.at(a, c), m.at(a, b) + m.at(b, c) + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emcast::topology

@@ -1,0 +1,92 @@
+#include "traffic/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::traffic {
+namespace {
+
+TEST(Envelope, EmptyEstimator) {
+  EnvelopeEstimator e;
+  EXPECT_EQ(e.samples(), 0u);
+  EXPECT_DOUBLE_EQ(e.mean_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(e.span(), 0.0);
+}
+
+TEST(Envelope, MeanRateOfUniformArrivals) {
+  EnvelopeEstimator e;
+  for (int i = 0; i <= 10; ++i) e.record(static_cast<Time>(i), 100.0);
+  // 1100 bits over 10 s of span.
+  EXPECT_DOUBLE_EQ(e.mean_rate(), 110.0);
+}
+
+TEST(Envelope, SigmaForExactCbrIsOnePacket) {
+  EnvelopeEstimator e;
+  // 100 bits every second; for rho = 100 the tight sigma is one packet
+  // (the instantaneous burst).
+  for (int i = 0; i < 50; ++i) e.record(static_cast<Time>(i), 100.0);
+  EXPECT_NEAR(e.sigma_for_rho(100.0), 100.0, 1e-9);
+}
+
+TEST(Envelope, SigmaShrinksWithLargerRho) {
+  EnvelopeEstimator e;
+  for (int i = 0; i < 50; ++i) e.record(static_cast<Time>(i), 100.0);
+  EXPECT_GE(e.sigma_for_rho(90.0), e.sigma_for_rho(110.0));
+}
+
+TEST(Envelope, DetectsBurst) {
+  EnvelopeEstimator e;
+  e.record(0.0, 100.0);
+  e.record(0.0, 100.0);   // two packets at the same instant
+  e.record(1.0, 100.0);
+  // At rho=100, the instantaneous double burst needs sigma = 200.
+  EXPECT_NEAR(e.sigma_for_rho(100.0), 200.0, 1e-9);
+}
+
+TEST(Envelope, EnvelopeHoldsForAllWindows) {
+  // Property: for the fitted (sigma, rho), every window satisfies
+  // A(t1,t2) <= sigma + rho (t2-t1).
+  EnvelopeEstimator e;
+  // Bursty pattern: clusters of arrivals.
+  Time t = 0;
+  for (int c = 0; c < 20; ++c) {
+    for (int k = 0; k < 5; ++k) e.record(t, 50.0);
+    t += 1.0 + (c % 3) * 0.5;
+  }
+  const auto fit = e.fit(0.05);
+  // Re-play and verify envelope on every pair of windows.
+  std::vector<std::pair<Time, Bits>> arr;
+  t = 0;
+  for (int c = 0; c < 20; ++c) {
+    for (int k = 0; k < 5; ++k) arr.push_back({t, 50.0});
+    t += 1.0 + (c % 3) * 0.5;
+  }
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    Bits acc = 0;
+    for (std::size_t j = i; j < arr.size(); ++j) {
+      acc += arr[j].second;
+      const Time dt = arr[j].first - arr[i].first;
+      EXPECT_LE(acc, fit.sigma + fit.rho * dt + 1e-6);
+    }
+  }
+}
+
+TEST(Envelope, RejectsTimeTravel) {
+  EnvelopeEstimator e;
+  e.record(1.0, 10.0);
+  EXPECT_THROW(e.record(0.5, 10.0), std::invalid_argument);
+}
+
+TEST(Envelope, RejectsNegativeBits) {
+  EnvelopeEstimator e;
+  EXPECT_THROW(e.record(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Envelope, FitUsesHeadroom) {
+  EnvelopeEstimator e;
+  for (int i = 0; i < 10; ++i) e.record(static_cast<Time>(i), 90.0);
+  const auto fit = e.fit(0.10);
+  EXPECT_NEAR(fit.rho, e.mean_rate() * 1.10, 1e-9);
+}
+
+}  // namespace
+}  // namespace emcast::traffic

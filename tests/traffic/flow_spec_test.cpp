@@ -1,0 +1,82 @@
+#include "traffic/flow_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::traffic {
+namespace {
+
+TEST(FlowSpec, NormalizedDividesByCapacity) {
+  FlowSpec f{0, 1000.0, 500.0};
+  const auto n = f.normalized(2000.0);
+  EXPECT_DOUBLE_EQ(n.sigma, 0.5);
+  EXPECT_DOUBLE_EQ(n.rho, 0.25);
+}
+
+TEST(FlowSpec, NormalizedRejectsBadCapacity) {
+  FlowSpec f{0, 1.0, 1.0};
+  EXPECT_THROW(f.normalized(0.0), std::invalid_argument);
+}
+
+TEST(FlowSpecSet, Totals) {
+  std::vector<FlowSpec> flows{{0, 100, 10}, {1, 200, 20}, {2, 300, 30}};
+  EXPECT_DOUBLE_EQ(total_rate(flows), 60.0);
+  EXPECT_DOUBLE_EQ(total_burst(flows), 600.0);
+}
+
+TEST(FlowSpecSet, StabilityCondition) {
+  std::vector<FlowSpec> flows{{0, 100, 40}, {1, 100, 50}};
+  EXPECT_TRUE(stable(flows, 100.0));   // 90 <= 100
+  EXPECT_TRUE(stable(flows, 90.0));    // boundary counts as stable
+  EXPECT_FALSE(stable(flows, 80.0));
+}
+
+TEST(FlowSpecSet, HomogeneousDetection) {
+  std::vector<FlowSpec> hom{{0, 100, 10}, {1, 100, 10}};
+  std::vector<FlowSpec> het{{0, 100, 10}, {1, 200, 10}};
+  EXPECT_TRUE(homogeneous(hom));
+  EXPECT_FALSE(homogeneous(het));
+  EXPECT_TRUE(homogeneous({}));
+  EXPECT_TRUE(homogeneous({{0, 5, 5}}));
+}
+
+TEST(SynchronizedBursts, HomogeneousKeepsSigma) {
+  // For identical flows, sigma* = sigma (the min is attained by each flow).
+  std::vector<FlowSpec> flows{{0, 1000, 100}, {1, 1000, 100}, {2, 1000, 100}};
+  const auto stars = synchronized_bursts(flows, 1000.0);
+  ASSERT_EQ(stars.size(), 3u);
+  for (Bits s : stars) EXPECT_NEAR(s, 1000.0, 1e-9);
+}
+
+TEST(SynchronizedBursts, EqualizesRegulatorPeriods) {
+  // Heterogeneous flows: after sigma*-substitution every flow must have the
+  // same regulator period P = sigma*/(rho(1-rho)) in normalised units.
+  const Rate c = 1e6;
+  std::vector<FlowSpec> flows{{0, 50000, 300000}, {1, 8000, 50000},
+                              {2, 9000, 60000}};
+  const auto stars = synchronized_bursts(flows, c);
+  std::vector<double> periods;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto n = flows[i].normalized(c);
+    periods.push_back((stars[i] / c) / (n.rho * (1.0 - n.rho)));
+  }
+  EXPECT_NEAR(periods[0], periods[1], 1e-9);
+  EXPECT_NEAR(periods[1], periods[2], 1e-9);
+}
+
+TEST(SynchronizedBursts, SigmaStarNeverExceedsSigma) {
+  // P is the min over flows, so sigma*_i <= sigma_i for all i.
+  const Rate c = 1e6;
+  std::vector<FlowSpec> flows{{0, 50000, 300000}, {1, 8000, 50000}};
+  const auto stars = synchronized_bursts(flows, c);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_LE(stars[i], flows[i].sigma + 1e-6);
+  }
+}
+
+TEST(SynchronizedBursts, RejectsUnstableRho) {
+  std::vector<FlowSpec> flows{{0, 100, 2000}};
+  EXPECT_THROW(synchronized_bursts(flows, 1000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emcast::traffic

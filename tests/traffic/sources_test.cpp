@@ -1,0 +1,221 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "traffic/cbr_source.hpp"
+#include "traffic/envelope.hpp"
+#include "traffic/mpeg_video_source.hpp"
+#include "traffic/onoff_audio_source.hpp"
+
+namespace emcast::traffic {
+namespace {
+
+struct Collected {
+  std::vector<sim::Packet> packets;
+  Bits total = 0;
+};
+
+template <typename Source>
+Collected run_source(Source& src, sim::Simulator& sim, Time duration) {
+  Collected c;
+  src.start(sim, [&c](sim::Packet p) {
+    c.total += p.size;
+    c.packets.push_back(std::move(p));
+  }, duration);
+  sim.run(duration + 1.0);
+  return c;
+}
+
+TEST(CbrSource, ExactPacketSpacing) {
+  sim::Simulator sim;
+  CbrConfig cfg;
+  cfg.rate = 1000.0;
+  cfg.packet_size = 100.0;  // one packet every 0.1 s
+  CbrSource src(cfg);
+  const auto got = run_source(src, sim, 1.05);
+  ASSERT_GE(got.packets.size(), 10u);
+  for (std::size_t i = 1; i < got.packets.size(); ++i) {
+    EXPECT_NEAR(got.packets[i].created - got.packets[i - 1].created, 0.1,
+                1e-9);
+  }
+}
+
+TEST(CbrSource, MeanRateMatches) {
+  sim::Simulator sim;
+  CbrConfig cfg;
+  cfg.rate = 64000.0;
+  cfg.packet_size = 1280.0;
+  CbrSource src(cfg);
+  const auto got = run_source(src, sim, 10.0);
+  EXPECT_NEAR(got.total / 10.0, 64000.0, 64000.0 * 0.02);
+}
+
+TEST(CbrSource, TagsFlowAndGroup) {
+  sim::Simulator sim;
+  CbrConfig cfg;
+  cfg.flow = 7;
+  cfg.group = 2;
+  CbrSource src(cfg);
+  const auto got = run_source(src, sim, 0.5);
+  ASSERT_FALSE(got.packets.empty());
+  EXPECT_EQ(got.packets[0].flow, 7);
+  EXPECT_EQ(got.packets[0].group, 2);
+}
+
+TEST(CbrSource, RejectsBadConfig) {
+  CbrConfig cfg;
+  cfg.rate = 0;
+  EXPECT_THROW(CbrSource{cfg}, std::invalid_argument);
+}
+
+TEST(OnOffAudio, LongTermMeanRateConverges) {
+  sim::Simulator sim;
+  OnOffAudioConfig cfg;
+  cfg.seed = 3;
+  OnOffAudioSource src(cfg);
+  const Time horizon = 200.0;
+  const auto got = run_source(src, sim, horizon);
+  EXPECT_NEAR(got.total / horizon, 64000.0, 64000.0 * 0.08);
+}
+
+TEST(OnOffAudio, PeakRateAboveMean) {
+  OnOffAudioConfig cfg;
+  OnOffAudioSource src(cfg);
+  EXPECT_GT(src.peak_rate(), src.mean_rate());
+  // peak = mean / duty.
+  const double duty = cfg.mean_on / (cfg.mean_on + cfg.mean_off);
+  EXPECT_NEAR(src.peak_rate(), cfg.mean_rate / duty, 1.0);
+}
+
+TEST(OnOffAudio, HasSilences) {
+  sim::Simulator sim;
+  OnOffAudioConfig cfg;
+  cfg.seed = 4;
+  OnOffAudioSource src(cfg);
+  const auto got = run_source(src, sim, 20.0);
+  // Max inter-packet gap far exceeds the in-spurt packet interval.
+  Time max_gap = 0;
+  for (std::size_t i = 1; i < got.packets.size(); ++i) {
+    max_gap = std::max(max_gap,
+                       got.packets[i].created - got.packets[i - 1].created);
+  }
+  EXPECT_GT(max_gap, 0.05);
+}
+
+TEST(OnOffAudio, ConformsToDeclaredEnvelope) {
+  sim::Simulator sim;
+  OnOffAudioConfig cfg;
+  cfg.seed = 5;
+  OnOffAudioSource src(cfg);
+  EnvelopeEstimator est;
+  src.start(sim, [&](sim::Packet p) { est.record(sim.now(), p.size); }, 60.0);
+  sim.run(61.0);
+  // Empirical sigma at 4% headroom must not wildly exceed the declared
+  // nominal burst (duty jitter adds a bounded wobble).
+  const Bits empirical = est.sigma_for_rho(src.mean_rate() * 1.04);
+  EXPECT_LT(empirical, 3.0 * src.nominal_burst());
+}
+
+TEST(OnOffAudio, DeterministicForSeed) {
+  sim::Simulator s1, s2;
+  OnOffAudioConfig cfg;
+  cfg.seed = 11;
+  OnOffAudioSource a(cfg), b(cfg);
+  const auto ga = run_source(a, s1, 10.0);
+  const auto gb = run_source(b, s2, 10.0);
+  ASSERT_EQ(ga.packets.size(), gb.packets.size());
+  for (std::size_t i = 0; i < ga.packets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ga.packets[i].created, gb.packets[i].created);
+  }
+}
+
+TEST(MpegVideo, LongTermMeanRateConverges) {
+  sim::Simulator sim;
+  MpegVideoConfig cfg;
+  cfg.seed = 6;
+  MpegVideoSource src(cfg);
+  const Time horizon = 60.0;
+  const auto got = run_source(src, sim, horizon);
+  EXPECT_NEAR(got.total / horizon, 1.5e6, 1.5e6 * 0.05);
+}
+
+TEST(MpegVideo, FrameSizeOrdering) {
+  MpegVideoConfig cfg;
+  MpegVideoSource src(cfg);
+  EXPECT_GT(src.mean_frame_size('I'), src.mean_frame_size('P'));
+  EXPECT_GT(src.mean_frame_size('P'), src.mean_frame_size('B'));
+}
+
+TEST(MpegVideo, GopMassMatchesMeanRate) {
+  MpegVideoConfig cfg;
+  MpegVideoSource src(cfg);
+  // 1 I + 3 P + 8 B per 12 frames at 25 fps = 1.5 Mbit/s.
+  const Bits gop = src.mean_frame_size('I') + 3 * src.mean_frame_size('P') +
+                   8 * src.mean_frame_size('B');
+  EXPECT_NEAR(gop * 25.0 / 12.0, 1.5e6, 1.0);
+}
+
+TEST(MpegVideo, PacketsNeverExceedMtu) {
+  sim::Simulator sim;
+  MpegVideoConfig cfg;
+  cfg.seed = 8;
+  MpegVideoSource src(cfg);
+  const auto got = run_source(src, sim, 5.0);
+  for (const auto& p : got.packets) {
+    EXPECT_LE(p.size, cfg.packet_size + 1e-9);
+    EXPECT_GT(p.size, 0.0);
+  }
+}
+
+TEST(MpegVideo, FramesArriveAtFrameRate) {
+  sim::Simulator sim;
+  MpegVideoConfig cfg;
+  cfg.seed = 9;
+  MpegVideoSource src(cfg);
+  const auto got = run_source(src, sim, 2.0);
+  // Distinct creation timestamps = frames.
+  std::vector<Time> stamps;
+  for (const auto& p : got.packets) {
+    if (stamps.empty() || p.created != stamps.back()) {
+      stamps.push_back(p.created);
+    }
+  }
+  ASSERT_GE(stamps.size(), 2u);
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_NEAR(stamps[i] - stamps[i - 1], 0.04, 1e-9);
+  }
+}
+
+TEST(MpegVideo, BurstBoundedByNominal) {
+  sim::Simulator sim;
+  MpegVideoConfig cfg;
+  cfg.seed = 10;
+  MpegVideoSource src(cfg);
+  const auto got = run_source(src, sim, 30.0);
+  // Sum packets per frame; every frame must fit inside nominal_burst.
+  Bits frame_total = 0;
+  Time frame_time = -1;
+  for (const auto& p : got.packets) {
+    if (p.created != frame_time) {
+      frame_time = p.created;
+      frame_total = 0;
+    }
+    frame_total += p.size;
+    EXPECT_LE(frame_total, src.nominal_burst() + 1e-6);
+  }
+}
+
+TEST(MpegVideo, DeterministicForSeed) {
+  sim::Simulator s1, s2;
+  MpegVideoConfig cfg;
+  cfg.seed = 12;
+  MpegVideoSource a(cfg), b(cfg);
+  const auto ga = run_source(a, s1, 3.0);
+  const auto gb = run_source(b, s2, 3.0);
+  ASSERT_EQ(ga.packets.size(), gb.packets.size());
+  EXPECT_DOUBLE_EQ(ga.total, gb.total);
+}
+
+}  // namespace
+}  // namespace emcast::traffic

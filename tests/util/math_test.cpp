@@ -1,0 +1,126 @@
+#include "util/math.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace emcast::util {
+namespace {
+
+TEST(Bisect, FindsRootOfLinearFunction) {
+  auto root = bisect([](double x) { return x - 3.0; }, 0.0, 10.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, 3.0, 1e-9);
+}
+
+TEST(Bisect, FindsRootOfTranscendental) {
+  auto root = bisect([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, 0.7390851332, 1e-8);
+}
+
+TEST(Bisect, RejectsInvalidBracket) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0));
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint) {
+  auto root = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_DOUBLE_EQ(*root, 0.0);
+}
+
+TEST(NewtonBisect, ConvergesOnSmoothFunction) {
+  auto root =
+      newton_bisect([](double x) { return x * x * x - 8.0; }, 0.0, 5.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, 2.0, 1e-9);
+}
+
+TEST(NewtonBisect, StaysInsideBracketOnSteepFunction) {
+  // Newton overshoots from the flat region; the bracket fallback must hold.
+  auto root = newton_bisect(
+      [](double x) { return std::tanh(10.0 * (x - 0.9)); }, 0.0, 1.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, 0.9, 1e-6);
+}
+
+TEST(SolveQuadratic, TwoRealRootsAscending) {
+  const auto roots = solve_quadratic(1.0, -5.0, 6.0);  // (x-2)(x-3)
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[0], 2.0, 1e-12);
+  EXPECT_NEAR(roots[1], 3.0, 1e-12);
+}
+
+TEST(SolveQuadratic, RepeatedRootReportedOnce) {
+  const auto roots = solve_quadratic(1.0, -4.0, 4.0);  // (x-2)^2
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 2.0, 1e-12);
+}
+
+TEST(SolveQuadratic, NoRealRoots) {
+  EXPECT_TRUE(solve_quadratic(1.0, 0.0, 1.0).empty());
+}
+
+TEST(SolveQuadratic, DegeneratesToLinear) {
+  const auto roots = solve_quadratic(0.0, 2.0, -8.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 4.0, 1e-12);
+}
+
+TEST(SolveQuadratic, NumericallyStableForSmallLeadingCoefficient) {
+  // Roots ~ -2e9 and -0.5; naive formula loses the small root.
+  const auto roots = solve_quadratic(1e-9, 2.0, 1.0);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_NEAR(roots[1], -0.5, 1e-6);
+}
+
+TEST(LerpAt, InterpolatesInsideDomain) {
+  EXPECT_NEAR(lerp_at({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0}, 1.5), 25.0, 1e-12);
+}
+
+TEST(LerpAt, ClampsOutsideDomain) {
+  EXPECT_DOUBLE_EQ(lerp_at({0.0, 1.0}, {5.0, 6.0}, -1.0), 5.0);
+  EXPECT_DOUBLE_EQ(lerp_at({0.0, 1.0}, {5.0, 6.0}, 2.0), 6.0);
+}
+
+TEST(Crossover, FindsSignChangeBetweenCurves) {
+  // a-b: +1 at x=0, -1 at x=1 → crossing at 0.5.
+  const auto x = crossover({0.0, 1.0}, {1.0, 0.0}, {0.0, 1.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 0.5, 1e-12);
+}
+
+TEST(Crossover, ReturnsNulloptWhenCurvesDoNotCross) {
+  EXPECT_FALSE(crossover({0.0, 1.0, 2.0}, {1.0, 2.0, 3.0}, {0.0, 1.0, 2.0}));
+}
+
+TEST(Crossover, ExactTouchReportsGridPoint) {
+  const auto x = crossover({0.0, 1.0, 2.0}, {1.0, 0.0, -1.0}, {1.0, 0.0, 1.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 0.0, 1e-12);
+}
+
+TEST(CeilLog, ExactPowers) {
+  EXPECT_EQ(ceil_log(1, 3), 0);
+  EXPECT_EQ(ceil_log(3, 3), 1);
+  EXPECT_EQ(ceil_log(9, 3), 2);
+  EXPECT_EQ(ceil_log(27, 3), 3);
+}
+
+TEST(CeilLog, RoundsUpBetweenPowers) {
+  EXPECT_EQ(ceil_log(10, 3), 3);   // 3^2=9 < 10 ≤ 27
+  EXPECT_EQ(ceil_log(28, 3), 4);
+  EXPECT_EQ(ceil_log(1333, 3), 7); // the paper's n=665, k=3 case
+}
+
+TEST(CeilLog, Base2LargeValues) {
+  EXPECT_EQ(ceil_log(1LL << 40, 2), 40);
+  EXPECT_EQ(ceil_log((1LL << 40) + 1, 2), 41);
+}
+
+TEST(CeilLog, RejectsBadBase) {
+  EXPECT_THROW(ceil_log(10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emcast::util

@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace emcast::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(2, 7);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 7);
+    ++seen[static_cast<std::size_t>(v - 2)];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.5);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalMatchesTargetMeanAndCv) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormal_mean_cv(10.0, 0.25);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double cv = std::sqrt(sq / n - mean * mean) / mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(cv, 0.25, 0.01);
+}
+
+TEST(Rng, ParetoStaysInBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.pareto(1.0, 50.0, 1.5);
+    EXPECT_GE(x, 1.0 - 1e-9);
+    EXPECT_LE(x, 50.0 + 1e-9);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng base(99);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1.next() == s2.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(42), b(42);
+  Rng sa = a.split(5), sb = b.split(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sa.next(), sb.next());
+}
+
+}  // namespace
+}  // namespace emcast::util

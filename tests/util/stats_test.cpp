@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace emcast::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook dataset
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(OnlineStats, ResetClears) {
+  OnlineStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.stats().max());
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+  // Exact max preserved despite clamping.
+  EXPECT_DOUBLE_EQ(h.stats().max(), 7.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, QuantileOnEmptyIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace emcast::util

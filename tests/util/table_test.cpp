@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace emcast::util {
+namespace {
+
+TEST(Table, StoresCells) {
+  Table t("demo");
+  t.column("name").column("value", 2);
+  t.row({std::string("a"), 1.234});
+  t.row({std::string("b"), 5.678});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "a");
+  EXPECT_DOUBLE_EQ(std::get<double>(t.at(1, 1)), 5.678);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t;
+  t.column("only");
+  EXPECT_THROW(t.row({std::string("a"), 1.0}), std::invalid_argument);
+}
+
+TEST(Table, PrintRespectsPrecision) {
+  Table t;
+  t.column("x", 1);
+  t.row({3.14159});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, PrintIncludesTitleAndHeaders) {
+  Table t("My Table");
+  t.column("alpha").column("beta");
+  t.row({1LL, 2LL});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t;
+  t.column("a").column("b", 2);
+  t.row({1LL, 0.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,0.50\n");
+}
+
+TEST(Table, IntegerCellsPrintWithoutDecimals) {
+  Table t;
+  t.column("n", 3);
+  t.row({42LL});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "n\n42\n");
+}
+
+}  // namespace
+}  // namespace emcast::util
