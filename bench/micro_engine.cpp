@@ -36,14 +36,22 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
 
+// Self-rescheduling functor: the idiomatic shape for recurring events on
+// the allocation-free engine (a recursive std::function would wrap a heap
+// callable inside the inline capture).
+struct ChurnTick {
+  sim::Simulator* sim;
+  int* count;
+  void operator()() const {
+    if (++*count < 10000) sim->schedule_in(0.001, ChurnTick{sim, count});
+  }
+};
+
 void BM_SimulatorEventChurn(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
     int count = 0;
-    std::function<void()> tick = [&] {
-      if (++count < 10000) sim.schedule_in(0.001, tick);
-    };
-    sim.schedule_in(0.001, tick);
+    sim.schedule_in(0.001, ChurnTick{&sim, &count});
     sim.run();
     benchmark::DoNotOptimize(count);
   }

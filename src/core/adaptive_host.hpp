@@ -15,7 +15,6 @@
 //                    when ρ̄ ≥ ρ* (with a small hysteresis band to avoid
 //                    flapping on VBR noise).
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -71,7 +70,7 @@ struct AdaptiveHostConfig {
 
 class AdaptiveHost {
  public:
-  using Sink = std::function<void(sim::Packet)>;
+  using Sink = sim::PacketFn;
 
   AdaptiveHost(sim::Simulator& sim, AdaptiveHostConfig config, Sink sink);
 

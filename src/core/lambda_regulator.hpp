@@ -17,7 +17,6 @@
 // period, which the schedule inflates to guarantee (min_idle), keeping
 // every period aligned to the fixed epoch grid.
 
-#include <functional>
 #include <vector>
 
 #include "core/turn_schedule.hpp"
@@ -31,7 +30,7 @@ namespace emcast::core {
 
 class LambdaRegulatorBank {
  public:
-  using Sink = std::function<void(sim::Packet)>;
+  using Sink = sim::PacketFn;
 
   /// Flow order defines slot order.  `capacity` is the host output rate C.
   /// `max_packet_bits` bounds a single packet (used to size the idle tail

@@ -8,7 +8,6 @@
 // paper's experiments.
 
 #include <array>
-#include <functional>
 
 #include "sim/fifo_queue.hpp"
 #include "sim/packet.hpp"
@@ -31,7 +30,7 @@ enum class MuxDiscipline { PriorityFifo, PriorityLifoLowest };
 
 class Mux {
  public:
-  using Sink = std::function<void(sim::Packet)>;
+  using Sink = sim::PacketFn;
   static constexpr std::size_t kPriorityClasses = 4;
 
   Mux(sim::Simulator& sim, Rate capacity, Sink sink,

@@ -4,8 +4,6 @@
 // untouched; excess bursts are buffered and released as tokens accrue, so
 // the output always satisfies R_out ~ (σ, ρ).
 
-#include <functional>
-
 #include "sim/fifo_queue.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
@@ -16,7 +14,7 @@ namespace emcast::core {
 
 class TokenBucketRegulator {
  public:
-  using Sink = std::function<void(sim::Packet)>;
+  using Sink = sim::PacketFn;
 
   /// The bucket starts full (σ tokens) so an initial conformant burst is
   /// not delayed.

@@ -1,47 +1,90 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace emcast::sim {
 
-EventHandle EventQueue::push(Time t, EventFn fn) {
-  if (!std::isfinite(t)) {
-    throw std::invalid_argument("EventQueue::push: non-finite time");
+EventQueue::~EventQueue() { std::free(heap_); }
+
+void EventQueue::throw_nonfinite_time() {
+  throw std::invalid_argument("EventQueue::push: non-finite time");
+}
+
+void EventQueue::throw_capacity_exhausted(const char* what) {
+  throw std::length_error(std::string("EventQueue: ") + what +
+                          " space exhausted");
+}
+
+void EventQueue::heap_reserve(std::size_t logical) {
+  if (logical <= heap_cap_) return;
+  std::size_t cap = heap_cap_ < 64 ? 64 : heap_cap_ * 2;
+  if (cap < logical) cap = logical;
+  // Physical buffer holds kHeapBase pad entries + cap, rounded up so the
+  // byte size is a multiple of the 64-byte alignment; the slack becomes
+  // extra capacity.
+  std::size_t bytes = (cap + kHeapBase) * sizeof(HeapEntry);
+  bytes = (bytes + 63) & ~std::size_t{63};
+  auto* fresh = static_cast<HeapEntry*>(std::aligned_alloc(64, bytes));
+  if (fresh == nullptr) throw std::bad_alloc();
+  if (heap_ == nullptr) {
+    std::memset(fresh, 0, kHeapBase * sizeof(HeapEntry));  // pad entries
+  } else {
+    std::memcpy(fresh, heap_, (kHeapBase + heap_size_) * sizeof(HeapEntry));
+    std::free(heap_);
   }
-  auto block = std::make_shared<EventHandle::Block>();
-  heap_.push_back(Entry{t, next_seq_++, std::move(fn), block});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return EventHandle(std::move(block));
+  heap_ = fresh;
+  heap_cap_ = bytes / sizeof(HeapEntry) - kHeapBase;
 }
 
-void EventQueue::drop_dead() {
-  while (!heap_.empty() && heap_.front().block->done) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+void EventQueue::cancel_handle(const EventHandle& h) {
+  if (h.queue_ != this || occupant(h.slot_) != h.seq_) {
+    return;  // already fired/cancelled (or the slot was recycled)
   }
+  const std::uint32_t slot = h.slot_;
+  const std::uint32_t index = slot & kPoolMask;
+  // Invalidate the occupant word BEFORE touching the capture: relocating
+  // a non-trivial capture runs its move constructor and the moved-from
+  // destructor, and that user code may cancel this very handle (an RAII
+  // timeout guard).  With the occupant already mismatching, the reentrant
+  // cancel is a stale-handle no-op.  The slot joins the free list only
+  // after the capture is fully destroyed, so a reentrant push cannot
+  // grab a slot that is still being torn down.
+  occupant(slot) = kVacantTag | kNoSlot;  // vacant, not yet on free list
+  --live_count_;
+  ++dead_in_heap_;  // the heap record outlives the slot until popped
+  // In-place destroy (InlineFn::reset detaches its vtable before running
+  // the destructor, so the capture's teardown code sees an empty slot and
+  // may reenter cancel()/push() safely).
+  if (slot & kPoolBit) {
+    fat_fn(index) = nullptr;
+  } else {
+    compact_fn(index) = nullptr;
+  }
+  release_slot(slot);
+  maybe_compact();
 }
 
-bool EventQueue::empty() {
-  drop_dead();
-  return heap_.empty();
-}
-
-Time EventQueue::next_time() {
-  drop_dead();
-  return heap_.empty() ? kTimeInfinity : heap_.front().time;
-}
-
-EventQueue::Fired EventQueue::pop() {
-  drop_dead();
-  assert(!heap_.empty() && "pop on empty EventQueue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  e.block->done = true;  // marks "fired" so late cancel() is a no-op
-  return Fired{e.time, std::move(e.fn)};
+void EventQueue::maybe_compact() {
+  if (dead_in_heap_ <= kCompactFloor ||
+      dead_in_heap_ <= heap_size_ - dead_in_heap_) {
+    return;
+  }
+  HeapEntry* begin = heap_ + kHeapBase;
+  HeapEntry* end = begin + heap_size_;
+  HeapEntry* kept = std::remove_if(
+      begin, end, [this](const HeapEntry& e) { return entry_dead(e); });
+  heap_size_ = static_cast<std::size_t>(kept - begin);
+  dead_in_heap_ = 0;
+  // Re-establish the heap invariant bottom-up (Floyd): sift interior
+  // nodes from the last parent down to the root.
+  if (heap_size_ > 1) {
+    const std::size_t last = kHeapBase + heap_size_ - 1;
+    for (std::size_t p = last / 4 + 2; p + 1 > kHeapBase; --p) sift_down(p);
+  }
 }
 
 }  // namespace emcast::sim

@@ -4,8 +4,6 @@
 // the classic store-and-forward model: departure(p) = max(now, link-free
 // time) + size/capacity, arrival = departure + propagation.
 
-#include <functional>
-
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "util/types.hpp"
@@ -14,7 +12,9 @@ namespace emcast::sim {
 
 class Link {
  public:
-  using DeliverFn = std::function<void(Packet)>;
+  /// Non-allocating delivery callback (see sim::PacketFn for the capture
+  /// size contract).
+  using DeliverFn = PacketFn;
 
   /// capacity in bits/s (> 0), propagation in seconds (>= 0).
   Link(Simulator& sim, Rate capacity, Time propagation);

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "util/inline_fn.hpp"
 #include "util/types.hpp"
 
 namespace emcast::sim {
@@ -24,6 +25,13 @@ struct Packet {
   /// End-to-end delay observed at time `now`.
   Time age(Time now) const { return now - created; }
 };
+
+/// Non-allocating packet callback used by the per-hop pipeline (regulator
+/// sinks, MUX sinks, link delivery).  The capacity covers the captures the
+/// hop components actually make — a handful of references plus an index;
+/// a component needing more should capture a pointer to named state.
+inline constexpr std::size_t kPacketFnCapacity = 56;
+using PacketFn = util::InlineFn<void(Packet), kPacketFnCapacity>;
 
 /// Monotonic packet-id allocator, one per simulation.
 class PacketIdAllocator {

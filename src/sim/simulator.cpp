@@ -1,24 +1,15 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
-#include <stdexcept>
 
 namespace emcast::sim {
-
-EventHandle Simulator::schedule_in(Time delay, EventFn fn) {
-  if (delay < 0.0) throw std::invalid_argument("schedule_in: negative delay");
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::schedule_at(Time t, EventFn fn) {
-  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
-  return queue_.push(t, std::move(fn));
-}
 
 std::uint64_t Simulator::run(Time until) {
   stop_requested_ = false;
   std::uint64_t executed = 0;
   while (!stop_requested_ && !queue_.empty()) {
+    // next_time() skims cancelled events, so the subsequent pop() finds a
+    // live event at the heap front without rescanning.
     if (queue_.next_time() > until) break;
     auto fired = queue_.pop();
     assert(fired.time + 1e-12 >= now_ && "event time went backwards");

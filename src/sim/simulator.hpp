@@ -5,6 +5,8 @@
 // Simulator per sweep point).
 
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "util/types.hpp"
@@ -19,11 +21,24 @@ class Simulator {
 
   Time now() const { return now_; }
 
-  /// Schedule fn at now()+delay (delay >= 0).
-  EventHandle schedule_in(Time delay, EventFn fn);
+  /// Schedule fn at now()+delay (delay >= 0).  The callable goes straight
+  /// into the event queue's slot storage — no temporaries, no allocation.
+  template <typename F>
+  EventHandle schedule_in(Time delay, F&& fn) {
+    if (delay < 0.0) {
+      throw std::invalid_argument("schedule_in: negative delay");
+    }
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedule fn at absolute time t >= now().
-  EventHandle schedule_at(Time t, EventFn fn);
+  template <typename F>
+  EventHandle schedule_at(Time t, F&& fn) {
+    if (t < now_) {
+      throw std::invalid_argument("schedule_at: time in the past");
+    }
+    return queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Run until the event queue drains or the clock passes `until`.
   /// Returns the number of events executed.

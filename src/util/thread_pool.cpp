@@ -25,7 +25,17 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+/// True on threads owned by a ThreadPool.  A parallel_for issued from
+/// inside a pool task must not submit helper tasks back to the pool and
+/// wait on them: with every worker blocked in such a wait, the helpers
+/// would never be dequeued.  Running the nested loop on the calling
+/// worker alone keeps nesting deadlock-free.
+thread_local bool t_pool_worker = false;
+}  // namespace
+
 void ThreadPool::worker_loop() {
+  t_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,23 +52,63 @@ void ThreadPool::worker_loop() {
   }
 }
 
+ThreadPool& shared_pool() {
+  static ThreadPool pool(0);  // joined at process exit
+  return pool;
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
   if (n == 0) return;
-  ThreadPool pool(threads);
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
-  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
   std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  std::size_t first_error_index = 0;
+  // Dynamic work distribution: each lane claims the next unvisited index,
+  // so uneven sweep points (high-ρ̄ simulations run longest) balance
+  // automatically.  A throwing index is recorded but does not stop the
+  // remaining indices, matching the old every-task-runs semantics; the
+  // lowest-index exception wins (deterministically, not by lane race).
+  auto work = [&] {
+    for (std::size_t i;
+         (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error || i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
+      }
     }
+  };
+
+  ThreadPool& pool = shared_pool();
+  // The caller is one lane; helpers on the shared pool make up the rest.
+  // A nested call (already on a pool worker) runs caller-only: submitting
+  // helpers and waiting from inside a worker could block every worker on
+  // queued tasks none of them is free to run.
+  const std::size_t lanes = threads == 0 ? pool.size() + 1 : threads;
+  const std::size_t helpers =
+      t_pool_worker ? 0
+                    : std::min({lanes > 0 ? lanes - 1 : 0, pool.size(), n - 1});
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  try {
+    for (std::size_t i = 0; i < helpers; ++i) {
+      futures.push_back(pool.submit(work));
+    }
+  } catch (...) {
+    // Helpers already launched still reference this frame; stop the work
+    // distribution and join them before unwinding.
+    next.store(n, std::memory_order_relaxed);
+    for (auto& f : futures) f.get();
+    throw;
   }
+  work();
+  for (auto& f : futures) f.get();  // helpers only rethrow via first_error
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -50,8 +50,19 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Run fn(i) for i in [0, n) across a transient pool and wait.  Exceptions
-/// from any task propagate (first one wins).
+/// Process-wide persistent pool (hardware_concurrency workers, lazily
+/// started on first use).  Sweeps hit parallel_for once per figure/bench
+/// invocation; reusing one pool makes the per-call cost a handful of task
+/// submissions instead of thread creation + join.
+ThreadPool& shared_pool();
+
+/// Run fn(i) for i in [0, n) and wait.  Work is distributed dynamically
+/// (atomic index), the calling thread participates, and every index runs
+/// even if an earlier one threw.  Exceptions from any task propagate
+/// (first one wins).  `threads` caps total concurrency (0 = pool size +
+/// caller); helper tasks run on the shared pool, not a transient one.  A
+/// nested call issued from inside a pool task runs on the calling worker
+/// alone, which keeps nesting deadlock-free.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

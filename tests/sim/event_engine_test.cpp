@@ -1,0 +1,280 @@
+// Engine-internal semantics of the slot-based event queue: handle
+// generations across slot reuse, cancel-after-fire, sequence-space
+// exhaustion, dead-entry compaction, and the ordering bit-tricks.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+
+namespace emcast::sim {
+
+/// White-box access for the generation/compaction tests.
+class EventQueueTestPeer {
+ public:
+  static void set_next_seq(EventQueue& q, std::uint64_t s) {
+    q.next_seq_ = s;
+  }
+  static std::uint64_t seq_limit() { return EventQueue::kSeqLimit; }
+  static std::uint32_t slot_of(const EventHandle& h) { return h.slot_; }
+  static std::uint64_t generation_of(const EventHandle& h) { return h.seq_; }
+  static std::size_t dead_in_heap(const EventQueue& q) {
+    return q.dead_in_heap_;
+  }
+};
+
+namespace {
+
+TEST(EventEngine, FiredSlotIsReusedWithFreshGeneration) {
+  EventQueue q;
+  auto h1 = q.push(1.0, [] {});
+  q.pop().fn();
+  auto h2 = q.push(2.0, [] {});
+  // Same storage slot, different generation.
+  EXPECT_EQ(EventQueueTestPeer::slot_of(h1), EventQueueTestPeer::slot_of(h2));
+  EXPECT_NE(EventQueueTestPeer::generation_of(h1),
+            EventQueueTestPeer::generation_of(h2));
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+}
+
+TEST(EventEngine, StaleHandleCannotCancelSlotsNewOccupant) {
+  EventQueue q;
+  auto stale = q.push(1.0, [] {});
+  q.pop();  // fires; slot freed
+  bool fired = false;
+  auto live = q.push(2.0, [&] { fired = true; });
+  stale.cancel();  // must be a no-op against the recycled slot
+  EXPECT_TRUE(live.pending());
+  ASSERT_FALSE(q.empty());
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventEngine, CancelAfterFireThenReuseManyTimes) {
+  EventQueue q;
+  std::vector<EventHandle> stale;
+  for (int round = 0; round < 100; ++round) {
+    auto h = q.push(static_cast<double>(round), [] {});
+    stale.push_back(h);
+    q.pop().fn();
+    // Every retired handle stays inert no matter how often its slot
+    // cycles.
+    for (auto& s : stale) {
+      s.cancel();
+      EXPECT_FALSE(s.pending());
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventEngine, GenerationSpaceNearLimitStillOrdersCorrectly) {
+  EventQueue q;
+  EventQueueTestPeer::set_next_seq(q, EventQueueTestPeer::seq_limit() - 3);
+  std::vector<int> order;
+  q.push(5.0, [&] { order.push_back(0); });
+  q.push(5.0, [&] { order.push_back(1); });
+  auto h = q.push(5.0, [&] { order.push_back(2); });
+  h.cancel();
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventEngine, GenerationSpaceExhaustionThrowsInsteadOfWrapping) {
+  EventQueue q;
+  EventQueueTestPeer::set_next_seq(q, EventQueueTestPeer::seq_limit() - 1);
+  q.push(1.0, [] {});  // the last representable sequence number
+  EXPECT_THROW(q.push(2.0, [] {}), std::length_error);
+}
+
+TEST(EventEngine, MassCancelTriggersCompaction) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    handles.push_back(q.push(1.0 + i, [] {}));
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i % 10 != 0) handles[static_cast<std::size_t>(i)].cancel();
+  }
+  // Compaction must have reclaimed dead records: far fewer than the 900
+  // cancellations can remain.
+  EXPECT_LT(q.size_including_dead(), 300u);
+  EXPECT_EQ(q.live_count(), 100u);
+  double prev = 0.0;
+  int popped = 0;
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GT(fired.time, prev);
+    prev = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 100);
+}
+
+TEST(EventEngine, SignedZerosAreATieBrokenBySchedulingOrder) {
+  // -0.0 == +0.0, so the documented (time, seq) contract makes scheduling
+  // order decide — the integer time key must not order them apart.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(+0.0, [&] { order.push_back(0); });
+  q.push(-0.0, [&] { order.push_back(1); });
+  q.push(+0.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventEngine, NegativeTimesOrderCorrectly) {
+  // The order-preserving double→uint64 key must handle negatives.
+  EventQueue q;
+  std::vector<double> order;
+  for (double t : {3.5, -2.0, 0.0, -7.25, 1.0, -0.5}) {
+    q.push(t, [&order, t] { order.push_back(t); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<double>{-7.25, -2.0, -0.5, 0.0, 1.0, 3.5}));
+}
+
+TEST(EventEngine, InterleavedCancelKeepsDeterministicTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  // Scramble slot assignment: cancel odd pushes so their slots recycle.
+  for (int i = 0; i < 50; ++i) {
+    handles.push_back(q.push(10.0, [&order, i] { order.push_back(i); }));
+    if (i % 2 == 1) handles.back().cancel();
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 25u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);  // scheduling order, despite reuse
+  }
+}
+
+TEST(EventEngine, CaptureDestructorMayCancelItsOwnHandle) {
+  // RAII-guard pattern: the capture cancels its own handle on
+  // destruction.  cancel() must vacate the slot before running the
+  // destructor, so the reentrant cancel is a stale-handle no-op.
+  EventQueue q;
+  EventHandle handle;
+  struct SelfCancel {
+    EventHandle* h;
+    ~SelfCancel() {
+      if (h != nullptr) h->cancel();
+    }
+    SelfCancel(EventHandle* handle) : h(handle) {}
+    SelfCancel(SelfCancel&& o) noexcept : h(o.h) { o.h = nullptr; }
+    void operator()() const {}
+  };
+  handle = q.push(1.0, SelfCancel{&handle});
+  handle.cancel();  // must not recurse
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(q.empty());
+  // The slot must be cleanly reusable afterwards.
+  bool fired = false;
+  q.push(2.0, [&] { fired = true; });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventEngine, DefaultedMoveGuardMayCancelDuringRelocation) {
+  // The harder reentrancy case: a guard whose move constructor is
+  // DEFAULTED, so the moved-from source still holds the handle pointer
+  // and its destructor — which runs inside the relocation that cancel()
+  // and pop() perform — calls cancel() mid-teardown.
+  struct Guard {
+    EventHandle* h;
+    ~Guard() {
+      if (h != nullptr) h->cancel();
+    }
+    explicit Guard(EventHandle* handle) : h(handle) {}
+    Guard(Guard&&) = default;
+    void operator()() const {}
+  };
+  {
+    // The argument temporary also keeps `h` (defaulted move), so it
+    // cancels the event as the push expression ends — the engine must
+    // survive that storm of cancels without recursion or corruption.
+    EventQueue q;
+    EventHandle handle;
+    handle = q.push(1.0, Guard{&handle});
+    EXPECT_FALSE(handle.pending());  // cancelled by the temp's destructor
+    handle.cancel();                 // and again explicitly: still a no-op
+    EXPECT_TRUE(q.empty());
+  }
+  {
+    // Mid-pop reentrancy: disarm the local after the move, so only the
+    // stored capture holds the handle — its destructor then runs inside
+    // pop()'s relocation and cancels the event being extracted.
+    EventQueue q;
+    EventHandle handle;
+    Guard local{&handle};
+    handle = q.push(1.0, std::move(local));
+    local.h = nullptr;  // defaulted move left it armed; disarm
+    ASSERT_TRUE(handle.pending());
+    int popped = 0;
+    while (!q.empty()) {
+      q.pop().fn();
+      ++popped;
+    }
+    EXPECT_EQ(popped, 1);
+    EXPECT_FALSE(handle.pending());
+    // Slot was freed exactly once: two new events must get distinct slots.
+    auto a = q.push(2.0, [] {});
+    auto b = q.push(3.0, [] {});
+    EXPECT_NE(EventQueueTestPeer::slot_of(a), EventQueueTestPeer::slot_of(b));
+    EXPECT_EQ(q.live_count(), 2u);
+  }
+}
+
+TEST(EventEngine, ThrowingCopyDuringPushLeaksNoSlot) {
+  struct ThrowingCopy {
+    bool armed;
+    explicit ThrowingCopy(bool a) : armed(a) {}
+    ThrowingCopy(const ThrowingCopy& o) : armed(o.armed) {
+      if (armed) throw std::runtime_error("copy refused");
+    }
+    ThrowingCopy(ThrowingCopy&&) noexcept = default;
+    void operator()() const {}
+  };
+  EventQueue q;
+  ThrowingCopy armed(true);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(q.push(1.0, armed), std::runtime_error);  // lvalue → copy
+  }
+  EXPECT_EQ(q.live_count(), 0u);
+  EXPECT_TRUE(q.empty());
+  // The failed pushes must have returned their slot: the next push reuses
+  // slot 0 rather than walking the slot space.
+  auto h = q.push(1.0, [] {});
+  EXPECT_EQ(EventQueueTestPeer::slot_of(h), 0u);
+  q.pop().fn();
+}
+
+TEST(EventEngine, DiscardableReturnValuesAreAccepted) {
+  EventQueue q;
+  int calls = 0;
+  q.push(1.0, [&calls] { return ++calls; });  // non-void return, discarded
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventEngine, LiveCountTracksPushPopCancel) {
+  EventQueue q;
+  EXPECT_EQ(q.live_count(), 0u);
+  auto a = q.push(1.0, [] {});
+  auto b = q.push(2.0, [] {});
+  EXPECT_EQ(q.live_count(), 2u);
+  a.cancel();
+  EXPECT_EQ(q.live_count(), 1u);
+  q.pop();
+  EXPECT_EQ(q.live_count(), 0u);
+  EXPECT_TRUE(q.empty());
+  (void)b;
+}
+
+}  // namespace
+}  // namespace emcast::sim

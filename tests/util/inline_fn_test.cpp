@@ -1,0 +1,167 @@
+#include "util/inline_fn.hpp"
+
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace emcast::util {
+namespace {
+
+using Fn64 = InlineFn<void(), 64>;
+
+// ---- compile-time capture contract --------------------------------------
+
+struct TooBig {
+  char bytes[65];
+  void operator()() const {}
+};
+
+struct OverAligned {
+  alignas(64) double d;
+  void operator()() const {}
+};
+
+struct ThrowingMove {
+  ThrowingMove() = default;
+  ThrowingMove(ThrowingMove&&) noexcept(false) {}
+  void operator()() const {}
+};
+
+static_assert(Fn64::fits<decltype([] {})>, "captureless lambda must fit");
+static_assert(!Fn64::fits<TooBig>, "capture beyond capacity must be rejected");
+static_assert(!Fn64::fits<OverAligned>,
+              "over-aligned capture must be rejected");
+static_assert(!Fn64::fits<ThrowingMove>,
+              "throwing-move capture must be rejected");
+static_assert(!Fn64::fits<int>, "non-callable must be rejected");
+static_assert(InlineFn<void(), 72>::fits<TooBig>,
+              "raising the capacity admits the capture");
+
+// ---- runtime semantics ---------------------------------------------------
+
+TEST(InlineFn, DefaultIsNull) {
+  Fn64 fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  Fn64 null_fn(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InlineFn, NullFunctionPointerConstructsEmpty) {
+  void (*fp)() = nullptr;
+  Fn64 fn(fp);
+  EXPECT_FALSE(static_cast<bool>(fn));  // as std::function: null → empty
+  EXPECT_THROW(fn(), std::bad_function_call);
+  void (*real)() = +[] {};
+  fn = real;
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+}
+
+TEST(InlineFn, InvokingEmptyThrowsBadFunctionCall) {
+  Fn64 fn;
+  EXPECT_THROW(fn(), std::bad_function_call);
+  Fn64 moved_from([] {});
+  Fn64 taken(std::move(moved_from));
+  EXPECT_THROW(moved_from(), std::bad_function_call);
+}
+
+TEST(InlineFn, InvokesCaptureAndReturnsValue) {
+  int base = 40;
+  InlineFn<int(int), 16> add([&base](int x) { return base + x; });
+  EXPECT_EQ(add(2), 42);
+  base = 0;
+  EXPECT_EQ(add(5), 5);
+}
+
+TEST(InlineFn, ForwardsMoveOnlyArguments) {
+  InlineFn<int(std::unique_ptr<int>), 16> take(
+      [](std::unique_ptr<int> p) { return *p; });
+  EXPECT_EQ(take(std::make_unique<int>(7)), 7);
+}
+
+/// Capture with observable lifetime: counts live instances and moves.
+struct Probe {
+  int* live;
+  int* moves;
+  int payload;
+  Probe(int* l, int* m, int p) : live(l), moves(m), payload(p) { ++*live; }
+  Probe(Probe&& o) noexcept : live(o.live), moves(o.moves), payload(o.payload) {
+    ++*live;
+    ++*moves;
+  }
+  Probe(const Probe& o) : live(o.live), moves(o.moves), payload(o.payload) {
+    ++*live;
+  }
+  ~Probe() { --*live; }
+  int operator()() const { return payload; }
+};
+
+TEST(InlineFn, MoveTransfersOwnershipAndNullsSource) {
+  int live = 0, moves = 0;
+  {
+    InlineFn<int(), 32> a(Probe{&live, &moves, 9});
+    EXPECT_EQ(live, 1);
+    InlineFn<int(), 32> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(live, 1);  // relocation: construct target, destroy source
+    EXPECT_EQ(b(), 9);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(InlineFn, MoveAssignmentDestroysPreviousTarget) {
+  int live = 0, moves = 0;
+  InlineFn<int(), 32> a(Probe{&live, &moves, 1});
+  InlineFn<int(), 32> b(Probe{&live, &moves, 2});
+  EXPECT_EQ(live, 2);
+  b = std::move(a);
+  EXPECT_EQ(live, 1);  // b's old capture destroyed, a's relocated
+  EXPECT_EQ(b(), 1);
+  EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(InlineFn, NullptrAssignmentDestroysCapture) {
+  int live = 0, moves = 0;
+  InlineFn<int(), 32> fn(Probe{&live, &moves, 3});
+  EXPECT_EQ(live, 1);
+  fn = nullptr;
+  EXPECT_EQ(live, 0);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, ReassignFromCallableReplacesCapture) {
+  int live = 0, moves = 0;
+  InlineFn<int(), 32> fn(Probe{&live, &moves, 4});
+  fn = [] { return 11; };
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(fn(), 11);
+}
+
+TEST(InlineFn, TrivialCaptureSurvivesMoveChains) {
+  struct Tick {
+    int x;
+    int operator()() const { return x; }
+  };
+  InlineFn<int(), 16> a(Tick{5});
+  InlineFn<int(), 16> b(std::move(a));
+  InlineFn<int(), 16> c;
+  c = std::move(b);
+  EXPECT_EQ(c(), 5);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(InlineFn, SelfMoveAssignIsSafe) {
+  int live = 0, moves = 0;
+  InlineFn<int(), 32> fn(Probe{&live, &moves, 6});
+  auto& self = fn;
+  fn = std::move(self);
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(fn(), 6);
+  EXPECT_EQ(live, 1);
+}
+
+}  // namespace
+}  // namespace emcast::util

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -59,6 +60,32 @@ TEST(ParallelFor, PropagatesFirstException) {
           },
           4),
       std::logic_error);
+}
+
+TEST(ParallelFor, LowestIndexExceptionWinsDeterministically) {
+  for (int round = 0; round < 5; ++round) {
+    try {
+      parallel_for(64, [](std::size_t i) {
+        if (i == 7 || i == 40) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 7");
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallsCompleteWithoutDeadlock) {
+  // Inner calls run caller-only when issued from a pool worker; every
+  // (outer, inner) pair must still execute exactly once.
+  const std::size_t outer = shared_pool().size() + 2;  // oversubscribe
+  std::vector<std::atomic<int>> hits(outer * 8);
+  parallel_for(outer, [&](std::size_t i) {
+    parallel_for(8, [&](std::size_t j) { ++hits[i * 8 + j]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelFor, ResultsMatchSequentialComputation) {
