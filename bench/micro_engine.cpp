@@ -1,10 +1,26 @@
 // google-benchmark microbenchmarks of the hot engine components: event
-// queue, token bucket, (σ, ρ, λ) bank, MUX, Dijkstra and tree builders.
-// These are throughput references for anyone extending the simulator.
+// queue (both pending-set policies across several timestamp shapes), token
+// bucket, (σ, ρ, λ) bank, MUX, Dijkstra and tree builders.  These are
+// throughput references for anyone extending the simulator.
+//
+// Event-queue scenario shapes.  A calendar queue's worth depends on the
+// timestamp distribution, so the push/pop benchmark runs four of them:
+//   - uniform: independent draws over a wide window (the classic churn);
+//   - skewed: heavily front-loaded (u^4), dense near zero with a long
+//     thin tail — stresses the day-width estimator;
+//   - bursty: tight 1ms clusters spaced 100s apart — stresses intra-bucket
+//     sorting and rebucketing;
+//   - far-horizon: 90% near-term, 10% up to 10^4x further out — stresses
+//     the overflow year and year-advance rebuilds.
+// Each shape runs under the engine default (calendar, plain name — the
+// name the CI regression gate tracks) and under the heap fallback (the
+// `Heap` suffix), so every committed BENCH_pr<N>.json carries its own
+// interleaved A/B record.
 
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <vector>
 
 #include "core/lambda_regulator.hpp"
 #include "core/mux.hpp"
@@ -21,44 +37,138 @@ namespace {
 
 using namespace emcast;
 
-void BM_EventQueuePushPop(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+std::vector<double> uniform_times(std::size_t n) {
   util::Rng rng(1);
   std::vector<double> times(n);
   for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  return times;
+}
+
+std::vector<double> skewed_times(std::size_t n) {
+  util::Rng rng(2);
+  std::vector<double> times(n);
+  for (auto& t : times) {
+    const double u = rng.uniform();
+    t = u * u * u * u * 1000.0;  // ~front-loaded: most mass near 0
+  }
+  return times;
+}
+
+std::vector<double> bursty_times(std::size_t n) {
+  util::Rng rng(3);
+  std::vector<double> times(n);
+  for (auto& t : times) {
+    const double cluster = static_cast<double>(rng.uniform_int(0, 63));
+    t = cluster * 100.0 + rng.uniform(0.0, 1e-3);
+  }
+  return times;
+}
+
+std::vector<double> far_horizon_times(std::size_t n) {
+  util::Rng rng(4);
+  std::vector<double> times(n);
+  for (auto& t : times) {
+    t = rng.uniform() < 0.9 ? rng.uniform(0.0, 100.0)
+                            : rng.uniform(1e5, 1e6);
+  }
+  return times;
+}
+
+template <typename Queue>
+void push_pop_all(benchmark::State& state, const std::vector<double>& times) {
   for (auto _ : state) {
-    sim::EventQueue q;
+    Queue q;
     for (double t : times) q.push(t, [] {});
     while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+                          static_cast<std::int64_t>(times.size()));
+}
+
+// The plain names measure sim::EventQueue — the engine default the CI gate
+// tracks; the Heap variants are the interleaved A/B baseline.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  push_pop_all<sim::EventQueue>(
+      state, uniform_times(static_cast<std::size_t>(state.range(0))));
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_EventQueuePushPopHeap(benchmark::State& state) {
+  push_pop_all<sim::HeapEventQueue>(
+      state, uniform_times(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_EventQueuePushPopHeap)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueSkewed(benchmark::State& state) {
+  push_pop_all<sim::EventQueue>(
+      state, skewed_times(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_EventQueueSkewed)->Arg(16384);
+
+void BM_EventQueueSkewedHeap(benchmark::State& state) {
+  push_pop_all<sim::HeapEventQueue>(
+      state, skewed_times(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_EventQueueSkewedHeap)->Arg(16384);
+
+void BM_EventQueueBursty(benchmark::State& state) {
+  push_pop_all<sim::EventQueue>(
+      state, bursty_times(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_EventQueueBursty)->Arg(16384);
+
+void BM_EventQueueBurstyHeap(benchmark::State& state) {
+  push_pop_all<sim::HeapEventQueue>(
+      state, bursty_times(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_EventQueueBurstyHeap)->Arg(16384);
+
+void BM_EventQueueFarHorizon(benchmark::State& state) {
+  push_pop_all<sim::EventQueue>(
+      state, far_horizon_times(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_EventQueueFarHorizon)->Arg(16384);
+
+void BM_EventQueueFarHorizonHeap(benchmark::State& state) {
+  push_pop_all<sim::HeapEventQueue>(
+      state, far_horizon_times(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_EventQueueFarHorizonHeap)->Arg(16384);
 
 // Self-rescheduling functor: the idiomatic shape for recurring events on
 // the allocation-free engine (a recursive std::function would wrap a heap
 // callable inside the inline capture).
+template <typename Sim>
 struct ChurnTick {
-  sim::Simulator* sim;
+  Sim* sim;
   int* count;
   void operator()() const {
     if (++*count < 10000) sim->schedule_in(0.001, ChurnTick{sim, count});
   }
 };
 
-void BM_SimulatorEventChurn(benchmark::State& state) {
+template <typename Sim>
+void event_churn(benchmark::State& state) {
   for (auto _ : state) {
-    sim::Simulator sim;
+    Sim sim;
     int count = 0;
-    sim.schedule_in(0.001, ChurnTick{&sim, &count});
+    sim.schedule_in(0.001, ChurnTick<Sim>{&sim, &count});
     sim.run();
     benchmark::DoNotOptimize(count);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           10000);
 }
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  event_churn<sim::Simulator>(state);
+}
 BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_SimulatorEventChurnHeap(benchmark::State& state) {
+  event_churn<sim::HeapSimulator>(state);
+}
+BENCHMARK(BM_SimulatorEventChurnHeap);
 
 void BM_TokenBucketOffer(benchmark::State& state) {
   for (auto _ : state) {

@@ -27,6 +27,14 @@ Bits TokenBucketRegulator::tokens() const {
 }
 
 void TokenBucketRegulator::offer(sim::Packet p) {
+  if (p.size > spec_.sigma + 1e-9) {
+    // Tokens cap at σ, so a packet larger than the bucket depth can never
+    // conform: queueing it would wedge the head of the FIFO and livelock
+    // the release loop (reschedule forever, forward nothing).  The
+    // epsilon matches try_release's conformance slack.
+    ++rejected_;
+    return;
+  }
   queue_.push(std::move(p));
   try_release();
 }

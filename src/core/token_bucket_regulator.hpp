@@ -21,6 +21,9 @@ class TokenBucketRegulator {
   TokenBucketRegulator(sim::Simulator& sim, traffic::FlowSpec spec, Sink sink);
 
   /// Submit a packet; forwarded immediately if conformant, else queued.
+  /// A packet larger than the bucket depth σ can never conform and is
+  /// rejected outright (counted in rejected()) instead of livelocking the
+  /// release loop.
   void offer(sim::Packet p);
 
   const traffic::FlowSpec& spec() const { return spec_; }
@@ -28,6 +31,7 @@ class TokenBucketRegulator {
   Bits backlog_bits() const { return queue_.backlog_bits(); }
   Bits peak_backlog_bits() const { return queue_.peak_backlog_bits(); }
   std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t rejected() const { return rejected_; }  ///< oversized drops
 
  private:
   void refill_to_now() const;
@@ -42,6 +46,7 @@ class TokenBucketRegulator {
   mutable Time last_refill_ = 0.0;
   sim::EventHandle pending_release_;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace emcast::core

@@ -1,46 +1,40 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-#include <cstring>
 #include <stdexcept>
 #include <string>
 
 namespace emcast::sim {
 
-EventQueue::~EventQueue() { std::free(heap_); }
-
-void EventQueue::throw_nonfinite_time() {
+void EventQueueBase::throw_nonfinite_time() {
   throw std::invalid_argument("EventQueue::push: non-finite time");
 }
 
-void EventQueue::throw_capacity_exhausted(const char* what) {
+void EventQueueBase::throw_capacity_exhausted(const char* what) {
   throw std::length_error(std::string("EventQueue: ") + what +
                           " space exhausted");
 }
 
-void EventQueue::heap_reserve(std::size_t logical) {
-  if (logical <= heap_cap_) return;
-  std::size_t cap = heap_cap_ < 64 ? 64 : heap_cap_ * 2;
-  if (cap < logical) cap = logical;
-  // Physical buffer holds kHeapBase pad entries + cap, rounded up so the
-  // byte size is a multiple of the 64-byte alignment; the slack becomes
-  // extra capacity.
-  std::size_t bytes = (cap + kHeapBase) * sizeof(HeapEntry);
-  bytes = (bytes + 63) & ~std::size_t{63};
-  auto* fresh = static_cast<HeapEntry*>(std::aligned_alloc(64, bytes));
-  if (fresh == nullptr) throw std::bad_alloc();
-  if (heap_ == nullptr) {
-    std::memset(fresh, 0, kHeapBase * sizeof(HeapEntry));  // pad entries
-  } else {
-    std::memcpy(fresh, heap_, (kHeapBase + heap_size_) * sizeof(HeapEntry));
-    std::free(heap_);
+void EventQueueBase::teardown_slots() noexcept {
+  // All handles go stale first, so reentrant cancel()/pending() from the
+  // capture destructors below are no-ops (and can never trip the
+  // compaction hook of a derived class that is already being destroyed).
+  for (auto& occupants : occupant_) {
+    for (auto& word : occupants) word = kVacantTag | kNoSlot;
   }
-  heap_ = fresh;
-  heap_cap_ = bytes / sizeof(HeapEntry) - kHeapBase;
+  live_count_ = 0;
+  dead_pending_ = 0;
+  // Destroy the captures now, while the occupant arrays are still alive;
+  // the slab destructors later see only empty slots.  (Scheduling into a
+  // queue mid-destruction remains unsupported, as documented.)
+  for (std::uint32_t i = 0; i < occupant_[0].size(); ++i) {
+    compact_fn(i) = nullptr;
+  }
+  for (std::uint32_t i = 0; i < occupant_[1].size(); ++i) {
+    fat_fn(i) = nullptr;
+  }
 }
 
-void EventQueue::cancel_handle(const EventHandle& h) {
+void EventQueueBase::cancel_handle(const EventHandle& h) {
   if (h.queue_ != this || occupant(h.slot_) != h.seq_) {
     return;  // already fired/cancelled (or the slot was recycled)
   }
@@ -55,7 +49,7 @@ void EventQueue::cancel_handle(const EventHandle& h) {
   // grab a slot that is still being torn down.
   occupant(slot) = kVacantTag | kNoSlot;  // vacant, not yet on free list
   --live_count_;
-  ++dead_in_heap_;  // the heap record outlives the slot until popped
+  ++dead_pending_;  // the pending record outlives the slot until popped
   // In-place destroy (InlineFn::reset detaches its vtable before running
   // the destructor, so the capture's teardown code sees an empty slot and
   // may reenter cancel()/push() safely).
@@ -65,26 +59,16 @@ void EventQueue::cancel_handle(const EventHandle& h) {
     compact_fn(index) = nullptr;
   }
   release_slot(slot);
-  maybe_compact();
+  // Threshold test inline (dead vs. the floor and the live population, both
+  // base-class state); the virtual hop is paid only for actual compactions.
+  if (dead_pending_ > kCompactFloor && dead_pending_ > live_count_) {
+    maybe_compact();
+  }
 }
 
-void EventQueue::maybe_compact() {
-  if (dead_in_heap_ <= kCompactFloor ||
-      dead_in_heap_ <= heap_size_ - dead_in_heap_) {
-    return;
-  }
-  HeapEntry* begin = heap_ + kHeapBase;
-  HeapEntry* end = begin + heap_size_;
-  HeapEntry* kept = std::remove_if(
-      begin, end, [this](const HeapEntry& e) { return entry_dead(e); });
-  heap_size_ = static_cast<std::size_t>(kept - begin);
-  dead_in_heap_ = 0;
-  // Re-establish the heap invariant bottom-up (Floyd): sift interior
-  // nodes from the last parent down to the root.
-  if (heap_size_ > 1) {
-    const std::size_t last = kHeapBase + heap_size_ - 1;
-    for (std::size_t p = last / 4 + 2; p + 1 > kHeapBase; --p) sift_down(p);
-  }
-}
+// Anchor the template instantiations the library itself ships, so every
+// client does not re-instantiate the full queue.
+template class BasicEventQueue<PendingHeap>;
+template class BasicEventQueue<CalendarPendingSet>;
 
 }  // namespace emcast::sim

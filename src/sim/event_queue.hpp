@@ -2,7 +2,24 @@
 // Pending-event set for the discrete-event engine, built for zero
 // steady-state heap allocations and minimal cache traffic.
 //
-// Storage layout (four arenas, no per-event allocation):
+// The engine is split in two layers:
+//
+//   - EventQueueBase owns the *callback storage* and the handle semantics:
+//     the compact/fat callback slabs, the occupant words, the free lists,
+//     the sequence counter and lazy cancellation.  EventHandle only ever
+//     talks to this layer.
+//   - A *pending-set policy* owns the ordering structure over 16-byte
+//     PendingEntry records (sim/pending_entry.hpp).  Two policies exist:
+//     PendingHeap (sim/pending_heap.hpp), the cache-line-aligned 4-ary
+//     min-heap, and CalendarPendingSet (sim/calendar_queue.hpp), the
+//     amortised-O(1) calendar queue with a min-heap overflow year.
+//
+// BasicEventQueue<Policy> glues the two at compile time, so the hot
+// push/pop path stays fully inlined with no virtual dispatch.  EventQueue
+// (the engine default, used by Simulator) is the calendar policy;
+// HeapEventQueue remains available as the fallback and A/B baseline.
+//
+// Storage layout of the callback layer (no per-event allocation):
 //   - compact callback slab: captures up to 56 bytes — the overwhelming
 //     majority of engine events capture a `this` pointer plus an index or
 //     two — live in 64-byte slots, one cache line each, in 64-byte-aligned
@@ -13,19 +30,12 @@
 //   - occupant arrays: one 64-bit word per slot — the sequence number of
 //     the event currently holding the slot, or a vacancy tag carrying the
 //     free-list link.  Liveness checks touch only these dense arrays,
-//     never the slabs;
-//   - pending heap: a 4-ary implicit min-heap of 16-byte POD records
-//     {time_key, seq<<24|slot} in a 64-byte-aligned buffer whose root
-//     lives at physical index 3, so every 4-child group is exactly one
-//     cache line.
+//     never the slabs.
 //
 // Ordering.  Events fire in (time, sequence) order; the sequence number
 // makes simultaneous events fire in scheduling order, which keeps
-// simulations deterministic regardless of heap internals.  The time is
-// stored as an order-preserving 64-bit integer image of the double, so a
-// heap comparison is two integer compares the compiler turns into
-// branch-free cmovs — floating compares on random keys mispredict every
-// other sift step.
+// simulations deterministic regardless of the pending-set policy — the
+// heap and the calendar produce byte-identical event orders.
 //
 // Handles.  push() returns an EventHandle addressing {slot index,
 // generation}, where the generation is the event's unique sequence
@@ -39,11 +49,11 @@
 // Handles must not outlive the EventQueue.
 //
 // Cancellation is lazy: cancel() destroys the callback, frees the slot
-// and leaves the dead heap record to be skipped on pop.  When dead
-// records outnumber live ones (past a fixed floor) the heap is compacted
-// in place, so mass-cancel workloads cannot strand unbounded dead memory.
+// and leaves the dead pending record to be skipped on pop.  When dead
+// records outnumber live ones (past a fixed floor) the pending set is
+// compacted in place, so mass-cancel workloads cannot strand unbounded
+// dead memory.
 
-#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
@@ -53,6 +63,9 @@
 #include <utility>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
+#include "sim/pending_entry.hpp"
+#include "sim/pending_heap.hpp"
 #include "util/inline_fn.hpp"
 #include "util/types.hpp"
 
@@ -70,11 +83,12 @@ using EventFn = util::InlineFn<void(), kEventFnCapacity>;
 inline constexpr std::size_t kCompactFnCapacity = 56;
 using CompactFn = util::InlineFn<void(), kCompactFnCapacity>;
 
-class EventQueue;
+class EventQueueBase;
 
 /// Handle returned by push(); cancel() is idempotent and safe after fire.
-/// Copyable and trivially destructible; valid only while the EventQueue
-/// that issued it is alive.
+/// Copyable and trivially destructible; valid only while the queue that
+/// issued it is alive.  Handles are policy-agnostic: they address the
+/// shared callback layer, not the pending set.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -86,46 +100,32 @@ class EventHandle {
   void cancel();
 
  private:
-  friend class EventQueue;
+  friend class EventQueueBase;
+  template <typename Policy>
+  friend class BasicEventQueue;
   friend class EventQueueTestPeer;
-  EventHandle(EventQueue* q, std::uint32_t slot, std::uint64_t seq)
+  EventHandle(EventQueueBase* q, std::uint32_t slot, std::uint64_t seq)
       : queue_(q), seq_(seq), slot_(slot) {}
 
-  EventQueue* queue_ = nullptr;
+  EventQueueBase* queue_ = nullptr;
   std::uint64_t seq_ = 0;  ///< the event's generation: its sequence number
   std::uint32_t slot_ = 0;  ///< packed pool bit + pool-local index
 };
 
-class EventQueue {
+/// Callback slabs, occupant words and handle semantics — everything that
+/// is independent of how the pending records are ordered.
+class EventQueueBase {
  public:
-  EventQueue() = default;
-  ~EventQueue();
-  EventQueue(const EventQueue&) = delete;
-  EventQueue& operator=(const EventQueue&) = delete;
-
-  /// Schedule a callable at absolute time t (finite).  The callable is
-  /// placement-constructed straight into its slot — no temporaries, no
-  /// allocation.
-  template <typename F>
-  EventHandle push(Time t, F&& fn);
+  EventQueueBase() = default;
+  virtual ~EventQueueBase() = default;
+  EventQueueBase(const EventQueueBase&) = delete;
+  EventQueueBase& operator=(const EventQueueBase&) = delete;
 
   /// True if no live events remain.
   bool empty() const { return live_count_ == 0; }
-
-  /// Time of the earliest live event; kTimeInfinity when empty.
-  Time next_time();
-
-  /// Pop and return the earliest live event.  Caller checks empty() first.
-  struct Fired {
-    Time time;
-    EventFn fn;
-  };
-  Fired pop();
-
-  std::size_t size_including_dead() const { return heap_size_; }
   std::size_t live_count() const { return live_count_; }
 
- private:
+ protected:
   friend class EventHandle;
   friend class EventQueueTestPeer;
 
@@ -134,60 +134,17 @@ class EventQueue {
   static constexpr std::size_t kBlockShift = 9;  ///< 512 slots per block
   static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
   static constexpr std::uint64_t kSeqLimit = std::uint64_t{1} << 40;
-  /// Packed slot field: bit 23 selects the pool (0 compact, 1 fat).
-  static constexpr std::uint32_t kPoolBit = 1u << 23;
-  static constexpr std::uint32_t kPoolMask = kPoolBit - 1;
   /// Vacant-slot tag for occupants: top bit set, low 32 bits = next free.
   static constexpr std::uint64_t kVacantTag = std::uint64_t{1} << 63;
+  /// Dead pending records are tolerated until they both exceed this floor
+  /// and outnumber the live ones; then the pending set is compacted.
+  static constexpr std::size_t kCompactFloor = 64;
 
   /// One cache line per compact event: vtable pointer + 56-byte capture.
   struct alignas(64) CompactSlot {
     CompactFn fn;
   };
   static_assert(sizeof(CompactSlot) == 64);
-
-  // -- pending heap -------------------------------------------------------
-  /// Root lives at physical index 3 so each 4-child group {4p-8..4p-5}
-  /// starts at a multiple of 4 entries = one 64-byte line.
-  static constexpr std::size_t kHeapBase = 3;
-  /// Dead heap records are tolerated until they both exceed this floor and
-  /// outnumber the live ones; then the heap is compacted in place.
-  static constexpr std::size_t kCompactFloor = 64;
-
-  struct HeapEntry {
-    std::uint64_t time_key;  ///< order-preserving bit image of the time
-    std::uint64_t seq_slot;  ///< (seq << 24) | slot — seq dominates ties
-  };
-  static_assert(sizeof(HeapEntry) == 16);
-
-  static std::uint64_t entry_seq(const HeapEntry& e) {
-    return e.seq_slot >> 24;
-  }
-  static std::uint32_t entry_slot(const HeapEntry& e) {
-    return static_cast<std::uint32_t>(e.seq_slot) & (kPoolBit | kPoolMask);
-  }
-
-  /// Order-preserving map from double to uint64: flip the sign bit for
-  /// non-negative values, flip all bits for negative ones.  -0.0 is
-  /// canonicalised to +0.0 first (the + 0.0 below) so the two zeros
-  /// compare as the tie they numerically are and fall through to the
-  /// sequence-number tie-break.
-  static std::uint64_t time_key(Time t) {
-    const auto u = std::bit_cast<std::uint64_t>(t + 0.0);
-    constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
-    return (u & kSign) ? ~u : (u | kSign);
-  }
-  static Time key_time(std::uint64_t k) {
-    constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
-    return std::bit_cast<Time>((k & kSign) ? (k & ~kSign) : ~k);
-  }
-
-  /// Strict (time, seq) ordering — `a` fires before `b`.  Bitwise | and &
-  /// keep it branch-free; seq_slot ties are impossible (unique seq).
-  static bool before(const HeapEntry& a, const HeapEntry& b) {
-    return (a.time_key < b.time_key) |
-           ((a.time_key == b.time_key) & (a.seq_slot < b.seq_slot));
-  }
 
   CompactFn& compact_fn(std::uint32_t i) {
     return compact_slabs_[i >> kBlockShift][i & (kBlockSize - 1)].fn;
@@ -201,7 +158,7 @@ class EventQueue {
   const std::uint64_t& occupant(std::uint32_t slot) const {
     return occupant_[slot >> 23][slot & kPoolMask];
   }
-  bool entry_dead(const HeapEntry& e) const {
+  bool entry_dead(const PendingEntry& e) const {
     // Vacant slots carry kVacantTag, which no 40-bit seq can equal.
     return occupant(entry_slot(e)) != entry_seq(e);
   }
@@ -210,17 +167,20 @@ class EventQueue {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);  ///< link a vacated slot
   void cancel_handle(const EventHandle& h);
-  void skim_dead();      ///< pop dead records off the heap top
-  void maybe_compact();  ///< threshold-based dead-record compaction
+  /// Invalidate every occupant, then destroy all captures — while the
+  /// occupant arrays and the derived policy are still alive.  Every final
+  /// destructor must call this: a capture destructor that cancels another
+  /// handle (RAII-guard pattern) then sees a vacant occupant and no-ops
+  /// instead of reading freed occupant words or reaching the pure-virtual
+  /// policy hook of a partially-destroyed object.  Idempotent.
+  void teardown_slots() noexcept;
   [[noreturn]] static void throw_nonfinite_time();
   [[noreturn]] static void throw_capacity_exhausted(const char* what);
 
-  void heap_reserve(std::size_t logical);
-  void heap_push(HeapEntry e);
-  HeapEntry heap_pop_front();
-  void sift_up(std::size_t p);
-  void sift_down(std::size_t p);
-  std::size_t min_child(std::size_t c0, std::size_t end) const;
+  /// Policy hook: compact the pending set (drop dead records).  Called by
+  /// cancel_handle only after its threshold test passes, so the virtual
+  /// dispatch is off the common cancel path.
+  virtual void maybe_compact() = 0;
 
   // Callback slabs: stable blocks, never relocated.  Index 0 of
   // occupant_/free_head_ is the compact pool, 1 the fat pool.
@@ -229,14 +189,59 @@ class EventQueue {
   std::vector<std::uint64_t> occupant_[2];
   std::uint32_t free_head_[2] = {kNoSlot, kNoSlot};
 
-  HeapEntry* heap_ = nullptr;  ///< 64B-aligned; root at physical kHeapBase
-  std::size_t heap_size_ = 0;  ///< logical entry count
-  std::size_t heap_cap_ = 0;   ///< logical capacity
-
   std::size_t live_count_ = 0;
-  std::size_t dead_in_heap_ = 0;
+  std::size_t dead_pending_ = 0;
   std::uint64_t next_seq_ = 0;
 };
+
+/// The event queue over a concrete pending-set policy.  All hot-path
+/// methods inline through the policy with no virtual dispatch.
+template <typename Policy>
+class BasicEventQueue : public EventQueueBase {
+ public:
+  using PendingPolicy = Policy;
+
+  BasicEventQueue() = default;
+  ~BasicEventQueue() override { teardown_slots(); }
+
+  /// Schedule a callable at absolute time t (finite).  The callable is
+  /// placement-constructed straight into its slot — no temporaries, no
+  /// allocation.
+  template <typename F>
+  EventHandle push(Time t, F&& fn);
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  Time next_time();
+
+  /// Pop and return the earliest live event.  Caller checks empty() first.
+  struct Fired {
+    Time time;
+    EventFn fn;
+  };
+  Fired pop();
+
+  std::size_t size_including_dead() const { return pending_.size(); }
+
+  /// Read-only view of the pending-set policy (tests, telemetry).
+  const Policy& pending_policy() const { return pending_; }
+
+ private:
+  friend class EventQueueTestPeer;
+
+  void skim_dead();  ///< pop dead records off the pending-set front
+  void maybe_compact() override;
+
+  Policy pending_;
+};
+
+/// The classic heap-ordered queue: O(log n) push/pop, fallback and A/B
+/// baseline for the calendar policy.
+using HeapEventQueue = BasicEventQueue<PendingHeap>;
+/// Calendar-queue front-end: amortised O(1) push/pop (see
+/// sim/calendar_queue.hpp).
+using CalendarEventQueue = BasicEventQueue<CalendarPendingSet>;
+/// The engine default, used by Simulator.
+using EventQueue = CalendarEventQueue;
 
 inline bool EventHandle::pending() const {
   return queue_ != nullptr && queue_->occupant(slot_) == seq_;
@@ -249,7 +254,7 @@ inline void EventHandle::cancel() {
 // ---- hot path, kept inline so Simulator::run sees through the calls -----
 
 template <bool Fat>
-inline std::uint32_t EventQueue::acquire_slot() {
+inline std::uint32_t EventQueueBase::acquire_slot() {
   constexpr std::size_t pool = Fat ? 1 : 0;
   auto& occupants = occupant_[pool];
   if (free_head_[pool] != kNoSlot) {
@@ -272,14 +277,15 @@ inline std::uint32_t EventQueue::acquire_slot() {
   return static_cast<std::uint32_t>(index) | (Fat ? kPoolBit : 0u);
 }
 
-inline void EventQueue::release_slot(std::uint32_t slot) {
+inline void EventQueueBase::release_slot(std::uint32_t slot) {
   const std::size_t pool = slot >> 23;
   occupant(slot) = kVacantTag | free_head_[pool];
   free_head_[pool] = slot & kPoolMask;
 }
 
+template <typename Policy>
 template <typename F>
-inline EventHandle EventQueue::push(Time t, F&& fn) {
+inline EventHandle BasicEventQueue<Policy>::push(Time t, F&& fn) {
   static_assert(EventFn::template fits<F>,
                 "EventQueue::push: callable violates the EventFn contract "
                 "(see util::InlineFn)");
@@ -295,7 +301,8 @@ inline EventHandle EventQueue::push(Time t, F&& fn) {
     } else {
       compact_fn(index) = std::forward<F>(fn);
     }
-    heap_push(HeapEntry{time_key(t), (seq << 24) | slot});  // may grow
+    pending_.push(
+        PendingEntry{time_key(t), (seq << kSlotShift) | slot});  // may grow
   } catch (...) {
     // The slot was never published (occupant still vacant-tagged), so a
     // capture destructor cancelling its own handle no-ops; destroy the
@@ -314,32 +321,37 @@ inline EventHandle EventQueue::push(Time t, F&& fn) {
   return EventHandle(this, slot, seq);
 }
 
-inline void EventQueue::skim_dead() {
-  while (heap_size_ != 0 && entry_dead(heap_[kHeapBase])) {
-    heap_pop_front();
-    --dead_in_heap_;
+template <typename Policy>
+inline void BasicEventQueue<Policy>::skim_dead() {
+  while (pending_.size() != 0 && entry_dead(pending_.min())) {
+    pending_.pop_min();
+    --dead_pending_;
   }
 }
 
-inline Time EventQueue::next_time() {
+template <typename Policy>
+inline Time BasicEventQueue<Policy>::next_time() {
   skim_dead();
-  return heap_size_ == 0 ? kTimeInfinity : key_time(heap_[kHeapBase].time_key);
+  return pending_.size() == 0 ? kTimeInfinity
+                              : key_time(pending_.min().time_key);
 }
 
-inline EventQueue::Fired EventQueue::pop() {
+template <typename Policy>
+inline typename BasicEventQueue<Policy>::Fired BasicEventQueue<Policy>::pop() {
   skim_dead();
-  assert(heap_size_ != 0 && "pop on empty EventQueue");
-  const std::uint32_t slot = entry_slot(heap_[kHeapBase]);
+  assert(pending_.size() != 0 && "pop on empty EventQueue");
+  const PendingEntry& front = pending_.min();
+  const std::uint32_t slot = entry_slot(front);
   const std::uint32_t index = slot & kPoolMask;
   const bool fat = (slot & kPoolBit) != 0;
   void* fn_addr = fat ? static_cast<void*>(&fat_fn(index))
                       : static_cast<void*>(&compact_fn(index));
 #if defined(__GNUC__) || defined(__clang__)
-  // Start pulling the callback's slab line while the sift-down below works
-  // through the heap levels; the two memory streams overlap.
+  // Start pulling the callback's slab line while the pending-set deletion
+  // below works through its levels; the two memory streams overlap.
   __builtin_prefetch(fn_addr, /*rw=*/1);
 #endif
-  const HeapEntry top = heap_pop_front();
+  const PendingEntry top = pending_.pop_min();
   // Invalidate the occupant before relocating the capture: the move of a
   // non-trivial capture runs user code (move ctor + moved-from dtor) that
   // may call cancel() on this very event; with the word already
@@ -354,80 +366,12 @@ inline EventQueue::Fired EventQueue::pop() {
   return fired;
 }
 
-inline void EventQueue::heap_push(HeapEntry e) {
-  if (heap_size_ == heap_cap_) heap_reserve(heap_size_ + 1);
-  heap_[kHeapBase + heap_size_] = e;
-  ++heap_size_;
-  sift_up(kHeapBase + heap_size_ - 1);
-}
-
-inline EventQueue::HeapEntry EventQueue::heap_pop_front() {
-  // Bottom-up deletion (Wegener): walk the hole from the root to a leaf
-  // along min-children (no compare against the displaced element, whose
-  // data-dependent exit branch mispredicts on random keys), then drop the
-  // tail element into the hole and sift it up — it came from the bottom,
-  // so it rarely climbs more than a step.
-  const HeapEntry front = heap_[kHeapBase];
-  const HeapEntry tail = heap_[kHeapBase + heap_size_ - 1];
-  --heap_size_;
-  if (heap_size_ == 0) return front;
-  const std::size_t end = kHeapBase + heap_size_;
-  std::size_t hole = kHeapBase;
-  for (;;) {
-    const std::size_t c0 = 4 * hole - 8;  // child group: one aligned line
-    if (c0 >= end) break;
-    const std::size_t best = min_child(c0, end);
-    heap_[hole] = heap_[best];
-    hole = best;
-    if (c0 + 4 > end) break;  // was a ragged group: children are leaves
-  }
-  // hole is now a leaf; place the tail there and let it climb home.
-  heap_[hole] = tail;
-  sift_up(hole);
-  return front;
-}
-
-inline void EventQueue::sift_up(std::size_t p) {
-  const HeapEntry e = heap_[p];
-  while (p > kHeapBase) {
-    const std::size_t parent = p / 4 + 2;
-    if (!before(e, heap_[parent])) break;
-    heap_[p] = heap_[parent];
-    p = parent;
-  }
-  heap_[p] = e;
-}
-
-/// Index of the smallest entry in the child group [c0, min(c0+4, end)).
-inline std::size_t EventQueue::min_child(std::size_t c0,
-                                         std::size_t end) const {
-  if (c0 + 4 <= end) {
-    // Full fanout: branchless tournament (cmov-selected indices).
-    const std::size_t a = before(heap_[c0 + 1], heap_[c0]) ? c0 + 1 : c0;
-    const std::size_t b =
-        before(heap_[c0 + 3], heap_[c0 + 2]) ? c0 + 3 : c0 + 2;
-    return before(heap_[b], heap_[a]) ? b : a;
-  }
-  std::size_t best = c0;  // ragged last group
-  for (std::size_t c = c0 + 1; c < end; ++c) {
-    if (before(heap_[c], heap_[best])) best = c;
-  }
-  return best;
-}
-
-inline void EventQueue::sift_down(std::size_t p) {
-  const std::size_t end = kHeapBase + heap_size_;  // one past last physical
-  const HeapEntry e = heap_[p];
-  for (;;) {
-    const std::size_t c0 = 4 * p - 8;  // child group: one aligned line
-    if (c0 >= end) break;
-    const std::size_t best = min_child(c0, end);
-    if (!before(heap_[best], e)) break;
-    heap_[p] = heap_[best];
-    p = best;
-    if (c0 + 4 > end) break;  // was a ragged group: children are leaves
-  }
-  heap_[p] = e;
+template <typename Policy>
+void BasicEventQueue<Policy>::maybe_compact() {
+  // The caller (cancel_handle) has already applied the threshold test.
+  pending_.remove_if(
+      [this](const PendingEntry& e) { return entry_dead(e); });
+  dead_pending_ = 0;
 }
 
 }  // namespace emcast::sim

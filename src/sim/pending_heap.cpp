@@ -1,0 +1,40 @@
+#include "sim/pending_heap.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace emcast::sim {
+
+PendingHeap::~PendingHeap() { std::free(heap_); }
+
+void PendingHeap::reserve(std::size_t logical) {
+  if (logical <= cap_) return;
+  std::size_t cap = cap_ < 64 ? 64 : cap_ * 2;
+  if (cap < logical) cap = logical;
+  // Physical buffer holds kBase pad entries + cap, rounded up so the byte
+  // size is a multiple of the 64-byte alignment; the slack becomes extra
+  // capacity.
+  std::size_t bytes = (cap + kBase) * sizeof(PendingEntry);
+  bytes = (bytes + 63) & ~std::size_t{63};
+  auto* fresh = static_cast<PendingEntry*>(std::aligned_alloc(64, bytes));
+  if (fresh == nullptr) throw std::bad_alloc();
+  if (heap_ == nullptr) {
+    std::memset(fresh, 0, kBase * sizeof(PendingEntry));  // pad entries
+  } else {
+    std::memcpy(fresh, heap_, (kBase + size_) * sizeof(PendingEntry));
+    std::free(heap_);
+  }
+  heap_ = fresh;
+  cap_ = bytes / sizeof(PendingEntry) - kBase;
+}
+
+void PendingHeap::heapify() {
+  // Bottom-up (Floyd): sift interior nodes from the last parent to the
+  // root.
+  if (size_ <= 1) return;
+  const std::size_t last = kBase + size_ - 1;
+  for (std::size_t p = last / 4 + 2; p + 1 > kBase; --p) sift_down(p);
+}
+
+}  // namespace emcast::sim

@@ -3,7 +3,14 @@
 // Components hold a Simulator& and schedule callbacks; there is no global
 // state, so many simulations run concurrently on different threads (one
 // Simulator per sweep point).
+//
+// The kernel is parameterised on the event-queue type so the pending-set
+// policy can be swapped (heap vs. calendar) without touching components;
+// `Simulator` is the engine default — the calendar queue.  The two
+// policies execute byte-identical event orders (the (time, seq) contract),
+// so the choice is purely a performance knob.
 
+#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <utility>
@@ -13,11 +20,12 @@
 
 namespace emcast::sim {
 
-class Simulator {
+template <typename Queue>
+class BasicSimulator {
  public:
-  Simulator() = default;
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
+  BasicSimulator() = default;
+  BasicSimulator(const BasicSimulator&) = delete;
+  BasicSimulator& operator=(const BasicSimulator&) = delete;
 
   Time now() const { return now_; }
 
@@ -42,7 +50,28 @@ class Simulator {
 
   /// Run until the event queue drains or the clock passes `until`.
   /// Returns the number of events executed.
-  std::uint64_t run(Time until = kTimeInfinity);
+  std::uint64_t run(Time until = kTimeInfinity) {
+    stop_requested_ = false;
+    std::uint64_t executed = 0;
+    while (!stop_requested_ && !queue_.empty()) {
+      // next_time() skims cancelled events, so the subsequent pop() finds a
+      // live event at the pending-set front without rescanning.
+      if (queue_.next_time() > until) break;
+      auto fired = queue_.pop();
+      assert(fired.time + 1e-12 >= now_ && "event time went backwards");
+      now_ = fired.time;
+      fired.fn();
+      ++executed;
+    }
+    // Advance the clock to the horizon when we ran out of events before it;
+    // callers that measure rates rely on now() == until afterwards.
+    if (!stop_requested_ && until != kTimeInfinity && now_ < until &&
+        queue_.empty()) {
+      now_ = until;
+    }
+    events_executed_ += executed;
+    return executed;
+  }
 
   /// Request run() to return after the current event completes.
   void stop() { stop_requested_ = true; }
@@ -50,10 +79,15 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
 
  private:
-  EventQueue queue_;
+  Queue queue_;
   Time now_ = 0.0;
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
 };
+
+/// The engine default: calendar-queue pending set.
+using Simulator = BasicSimulator<EventQueue>;
+/// Heap-policy kernel, kept for A/B benchmarking and differential tests.
+using HeapSimulator = BasicSimulator<HeapEventQueue>;
 
 }  // namespace emcast::sim

@@ -1,5 +1,6 @@
 #include "core/token_bucket_regulator.hpp"
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -97,6 +98,21 @@ TEST(TokenBucket, BacklogTracked) {
   EXPECT_EQ(h.reg->forwarded(), 3u);
 }
 
+TEST(TokenBucket, OversizedPacketIsRejectedInsteadOfLivelocking) {
+  // Regression: tokens cap at sigma, so a packet larger than the bucket
+  // depth could never conform — it used to wedge the FIFO head and
+  // reschedule the release forever (run() never returned).
+  Harness h(1000.0, 100.0);
+  h.reg->offer(make_packet(0, 5000.0, 1));  // > sigma: must be dropped
+  h.reg->offer(make_packet(0, 1000.0, 2));  // == sigma: still conformant
+  h.sim.run();  // would livelock without the rejection
+  ASSERT_EQ(h.out.size(), 1u);
+  EXPECT_EQ(h.out[0].second.id, 2u);
+  EXPECT_EQ(h.reg->rejected(), 1u);
+  EXPECT_EQ(h.reg->forwarded(), 1u);
+  EXPECT_DOUBLE_EQ(h.reg->backlog_bits(), 0.0);
+}
+
 TEST(TokenBucket, RejectsBadSpec) {
   sim::Simulator sim;
   EXPECT_THROW(TokenBucketRegulator(sim, traffic::FlowSpec{0, 0.0, 10.0},
@@ -110,8 +126,9 @@ TEST(TokenBucket, RejectsBadSpec) {
 TEST(TokenBucket, LateStartUsesCurrentTime) {
   sim::Simulator sim;
   std::vector<Time> out;
+  std::unique_ptr<TokenBucketRegulator> reg;  // outlives the release event
   sim.schedule_at(5.0, [&] {
-    auto* reg = new TokenBucketRegulator(
+    reg = std::make_unique<TokenBucketRegulator>(
         sim, traffic::FlowSpec{0, 100.0, 100.0},
         [&out, &sim](sim::Packet) { out.push_back(sim.now()); });
     reg->offer(make_packet(0, 100.0));

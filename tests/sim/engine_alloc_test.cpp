@@ -38,21 +38,32 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace emcast::sim {
 
-/// White-box view of the queue's arenas.  The pending heap grows through
+/// White-box view of the queue's arenas.  The overflow heap grows through
 /// std::aligned_alloc, which the counting operator new above cannot see,
-/// so the steady-state proof additionally pins the heap buffer, its
-/// capacity and the slab block count across the churn.
+/// so the steady-state proof additionally pins every calendar arena (node
+/// pool, bucket heads, sort staging, overflow buffer) and the slab block
+/// count across the churn.
 class EventQueueTestPeer {
  public:
   struct Arenas {
-    const void* heap;
-    std::size_t heap_cap;
+    const void* pool;
+    std::size_t pool_cap;
+    std::size_t heads_cap;
+    std::size_t scratch_cap;
+    const void* overflow;
+    std::size_t overflow_cap;
     std::size_t slab_blocks;
     std::size_t slots;
     bool operator==(const Arenas&) const = default;
   };
   static Arenas arenas(const EventQueue& q) {
-    return Arenas{q.heap_, q.heap_cap_,
+    const CalendarPendingSet& cal = q.pending_policy();
+    return Arenas{cal.pool_data(),
+                  cal.pool_capacity(),
+                  cal.heads_capacity(),
+                  cal.scratch_capacity(),
+                  cal.overflow().buffer(),
+                  cal.overflow().capacity(),
                   q.compact_slabs_.size() + q.fat_slabs_.size(),
                   q.occupant_[0].size() + q.occupant_[1].size()};
   }
@@ -94,6 +105,39 @@ TEST(EngineAllocation, PushPopCancelChurnIsAllocationFree) {
       << "event queue steady state must not allocate";
   EXPECT_TRUE(EventQueueTestPeer::arenas(q) == arenas_before)
       << "heap buffer / slab arenas must not grow or move in steady state";
+}
+
+TEST(EngineAllocation, HeapPolicyChurnIsAllocationFree) {
+  // The heap fallback policy keeps the same steady-state guarantee.
+  HeapEventQueue q;
+  constexpr int kOutstanding = 1000;
+  std::vector<EventHandle> handles(kOutstanding);
+  for (int i = 0; i < kOutstanding; ++i) {
+    handles[static_cast<std::size_t>(i)] =
+        q.push(static_cast<double>(i), [] {});
+  }
+  for (int i = 0; i < kOutstanding; i += 2) {
+    handles[static_cast<std::size_t>(i)].cancel();
+  }
+  while (!q.empty()) q.pop().fn();
+
+  const std::size_t before = g_allocations.load();
+  const void* buffer = q.pending_policy().buffer();
+  const std::size_t cap = q.pending_policy().capacity();
+  double clock = static_cast<double>(kOutstanding);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < kOutstanding; ++i) {
+      handles[static_cast<std::size_t>(i)] = q.push(clock + i, [] {});
+    }
+    for (int i = 0; i < kOutstanding; i += 2) {
+      handles[static_cast<std::size_t>(i)].cancel();
+    }
+    while (!q.empty()) q.pop().fn();
+    clock += kOutstanding;
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(q.pending_policy().buffer(), buffer);
+  EXPECT_EQ(q.pending_policy().capacity(), cap);
 }
 
 TEST(EngineAllocation, SimulatorEventLoopIsAllocationFree) {

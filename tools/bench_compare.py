@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the medians of a google-benchmark JSON run (typically CI's
+``bench_ci.json``) against the newest committed ``BENCH_pr<N>.json``
+snapshot and exits non-zero when a tracked benchmark regressed by more
+than the threshold (default 15%).
+
+Median extraction understands both raw repetition entries
+(``run_type == "iteration"``) and aggregate-only files
+(``aggregate_name == "median"``), so it works with every snapshot format
+this repository has committed so far.
+
+The comparison metric is ``items_per_second`` (higher is better) when both
+sides report it, falling back to ``real_time`` (lower is better).
+
+Usage:
+    bench_compare.py --current bench_ci.json [--baseline BENCH_pr2.json]
+                     [--threshold 0.15] [--tracked REGEX]
+
+Without --baseline the newest BENCH_pr<N>.json in the repository root
+(next to this script's parent directory) is used.  Benchmarks present in
+the baseline but missing from the current run are reported as warnings,
+not failures, so retired benchmarks do not wedge CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import statistics
+import sys
+from pathlib import Path
+
+
+class BenchCompareError(Exception):
+    """Unusable input (missing files, no comparable benchmarks)."""
+
+
+def load_medians(path):
+    """Map benchmark name -> {metric: median} for a google-benchmark JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    by_name = {}
+    aggregates = {}
+    for entry in data.get("benchmarks", []):
+        name = entry.get("run_name", entry.get("name"))
+        if name is None:
+            continue
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                aggregates.setdefault(name, []).append(entry)
+            continue
+        by_name.setdefault(name, []).append(entry)
+    medians = {}
+    for name, entries in by_name.items():
+        per_metric = {}
+        for metric in ("items_per_second", "real_time"):
+            values = [e[metric] for e in entries if metric in e]
+            if len(values) == len(entries):
+                per_metric[metric] = statistics.median(values)
+        medians[name] = per_metric
+    # Aggregate-only files (benchmark_report_aggregates_only=true) have no
+    # iteration entries; take the reported median rows directly.
+    for name, entries in aggregates.items():
+        if name not in medians:
+            medians[name] = {
+                metric: statistics.median(e[metric] for e in entries)
+                for metric in ("items_per_second", "real_time")
+                if all(metric in e for e in entries)
+            }
+    return medians
+
+
+def newest_snapshot(repo_root):
+    """The committed BENCH_pr<N>.json with the highest N."""
+    best, best_n = None, -1
+    for path in Path(repo_root).glob("BENCH_pr*.json"):
+        m = re.fullmatch(r"BENCH_pr(\d+)\.json", path.name)
+        if m and int(m.group(1)) > best_n:
+            best, best_n = path, int(m.group(1))
+    if best is None:
+        raise BenchCompareError(
+            f"no BENCH_pr<N>.json snapshot found in {repo_root}")
+    return best
+
+
+def compare(current, baseline, threshold, tracked=None):
+    """Return (failures, lines): regression descriptions and a report."""
+    pattern = re.compile(tracked) if tracked else None
+    failures = []
+    lines = []
+    names = sorted(baseline)
+    compared = 0
+    for name in names:
+        if pattern is not None and not pattern.search(name):
+            continue
+        if name not in current:
+            lines.append(f"WARNING  {name}: missing from current run")
+            continue
+        base, cur = baseline[name], current[name]
+        if "items_per_second" in base and "items_per_second" in cur:
+            b, c = base["items_per_second"], cur["items_per_second"]
+            ratio = c / b  # higher is better
+            regressed = ratio < 1.0 - threshold
+            detail = f"{b / 1e6:.2f} -> {c / 1e6:.2f} M items/s"
+        elif "real_time" in base and "real_time" in cur:
+            b, c = base["real_time"], cur["real_time"]
+            ratio = b / c  # lower is better; normalise so <1 = regression
+            regressed = ratio < 1.0 - threshold
+            detail = f"{b:.0f} -> {c:.0f} ns"
+        else:
+            lines.append(f"WARNING  {name}: no common metric")
+            continue
+        compared += 1
+        verdict = "FAIL" if regressed else "ok"
+        lines.append(f"{verdict:8s} {name}: {detail}  ({(ratio - 1) * 100:+.1f}%)")
+        if regressed:
+            failures.append(name)
+    if compared == 0:
+        raise BenchCompareError("no comparable benchmarks between the files")
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="google-benchmark JSON of the run under test")
+    parser.add_argument("--baseline", default=None,
+                        help="snapshot to compare against "
+                             "(default: newest BENCH_pr<N>.json in --repo-root)")
+    parser.add_argument("--repo-root",
+                        default=str(Path(__file__).resolve().parent.parent),
+                        help="where to look for BENCH_pr<N>.json snapshots")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression that fails the gate "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--tracked", default=None,
+                        help="regex of benchmark names to gate "
+                             "(default: every name in the baseline)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline_path = args.baseline or newest_snapshot(args.repo_root)
+        current = load_medians(args.current)
+        baseline = load_medians(baseline_path)
+        failures, lines = compare(current, baseline, args.threshold,
+                                  args.tracked)
+    except (BenchCompareError, OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    print(f"baseline: {baseline_path}")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nbench_compare: {len(failures)} benchmark(s) regressed "
+              f"beyond {args.threshold * 100:.0f}%: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("\nbench_compare: no regression beyond "
+          f"{args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Unit tests for the benchmark regression gate (tools/bench_compare.py).
+
+Run directly (``python3 tools/test_bench_compare.py``) or through ctest
+(registered as ``bench_compare_selftest``).  The critical case — the gate
+must demonstrably FAIL on a synthetic regressed input — is
+``test_gate_fails_on_regression``.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare  # noqa: E402
+
+
+def bench_json(entries):
+    return {"context": {"date": "t"}, "benchmarks": entries}
+
+
+def iteration(name, items_per_second=None, real_time=None):
+    e = {"name": name, "run_name": name, "run_type": "iteration"}
+    if items_per_second is not None:
+        e["items_per_second"] = items_per_second
+    if real_time is not None:
+        e["real_time"] = real_time
+    return e
+
+
+def aggregate_median(name, items_per_second, real_time):
+    return {"name": f"{name}_median", "run_name": name,
+            "run_type": "aggregate", "aggregate_name": "median",
+            "items_per_second": items_per_second, "real_time": real_time}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, fname, payload):
+        path = os.path.join(self.dir.name, fname)
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_main(self, current, baseline, extra=()):
+        argv = ["--current", current, "--baseline", baseline, *extra]
+        return bench_compare.main(argv)
+
+    # -- medians -----------------------------------------------------------
+
+    def test_median_over_repetitions(self):
+        path = self.write("m.json", bench_json([
+            iteration("BM_X/1", items_per_second=1e6, real_time=100.0),
+            iteration("BM_X/1", items_per_second=3e6, real_time=300.0),
+            iteration("BM_X/1", items_per_second=2e6, real_time=200.0),
+        ]))
+        medians = bench_compare.load_medians(path)
+        self.assertEqual(medians["BM_X/1"]["items_per_second"], 2e6)
+        self.assertEqual(medians["BM_X/1"]["real_time"], 200.0)
+
+    def test_aggregate_only_files_use_reported_median(self):
+        path = self.write("agg.json", bench_json([
+            aggregate_median("BM_X/1", 5e6, 123.0),
+        ]))
+        medians = bench_compare.load_medians(path)
+        self.assertEqual(medians["BM_X/1"]["items_per_second"], 5e6)
+
+    # -- the gate ----------------------------------------------------------
+
+    def test_gate_passes_when_flat(self):
+        base = self.write("base.json",
+                          bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 1.02e6, 98.0)]))
+        self.assertEqual(self.run_main(cur, base), 0)
+
+    def test_gate_fails_on_regression(self):
+        # 40% throughput drop: far beyond the 15% threshold.
+        base = self.write("base.json",
+                          bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 0.6e6, 167.0)]))
+        self.assertEqual(self.run_main(cur, base), 1)
+
+    def test_gate_tolerates_regression_within_threshold(self):
+        base = self.write("base.json",
+                          bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 0.9e6, 111.0)]))
+        self.assertEqual(self.run_main(cur, base), 0)
+
+    def test_gate_honours_custom_threshold(self):
+        base = self.write("base.json",
+                          bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 0.9e6, 111.0)]))
+        self.assertEqual(self.run_main(cur, base, ["--threshold", "0.05"]), 1)
+
+    def test_improvement_passes(self):
+        base = self.write("base.json",
+                          bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 5e6, 20.0)]))
+        self.assertEqual(self.run_main(cur, base), 0)
+
+    def test_real_time_fallback_direction(self):
+        # No items_per_second: real_time is lower-is-better, so a time
+        # increase beyond threshold must fail.
+        base = self.write("base.json", bench_json(
+            [iteration("BM_Y", real_time=100.0)]))
+        cur = self.write("cur.json", bench_json(
+            [iteration("BM_Y", real_time=150.0)]))
+        self.assertEqual(self.run_main(cur, base), 1)
+
+    def test_missing_benchmark_warns_but_passes(self):
+        base = self.write("base.json", bench_json([
+            iteration("BM_X/1", 1e6, 100.0),
+            iteration("BM_Retired", 1e6, 100.0),
+        ]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        self.assertEqual(self.run_main(cur, base), 0)
+
+    def test_tracked_regex_limits_the_gate(self):
+        base = self.write("base.json", bench_json([
+            iteration("BM_Gated", 1e6, 100.0),
+            iteration("BM_Untracked", 1e6, 100.0),
+        ]))
+        cur = self.write("cur.json", bench_json([
+            iteration("BM_Gated", 1e6, 100.0),
+            iteration("BM_Untracked", 0.1e6, 1000.0),  # would fail if gated
+        ]))
+        self.assertEqual(self.run_main(cur, base, ["--tracked", "BM_Gated"]),
+                         0)
+
+    def test_no_overlap_is_a_usage_error(self):
+        base = self.write("base.json",
+                          bench_json([iteration("BM_A", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_B", 1e6, 100.0)]))
+        self.assertEqual(self.run_main(cur, base), 2)
+
+    # -- snapshot discovery ------------------------------------------------
+
+    def test_newest_snapshot_picks_highest_pr(self):
+        for name in ("BENCH_pr1.json", "BENCH_pr2.json",
+                     "BENCH_pr1_baseline.json", "BENCH_pr10.json"):
+            self.write(name, bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        best = bench_compare.newest_snapshot(self.dir.name)
+        self.assertEqual(os.path.basename(best), "BENCH_pr10.json")
+
+    def test_missing_snapshot_is_a_usage_error(self):
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        code = bench_compare.main(
+            ["--current", cur, "--repo-root", self.dir.name])
+        self.assertEqual(code, 2)
+
+    def test_end_to_end_against_discovered_snapshot(self):
+        self.write("BENCH_pr3.json",
+                   bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                        bench_json([iteration("BM_X/1", 0.5e6, 200.0)]))
+        code = bench_compare.main(
+            ["--current", cur, "--repo-root", self.dir.name])
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
