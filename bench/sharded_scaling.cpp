@@ -1,0 +1,82 @@
+// Sharded-simulator scaling sweep: shard count x host count over the
+// multigroup dissemination model, against the single-threaded reference
+// kernel on the same model.
+//
+//   BM_ShardedScalingRef/<hosts>          single-threaded Simulator
+//   BM_ShardedScaling/<hosts>/<shards>    ShardedSimulator, auto threads
+//
+// Manual timing: each iteration rebuilds the run but the clock covers
+// only the run() itself (overlay construction is cached and excluded),
+// so items_per_second is events through the kernel per wall second.
+// Speedup at S shards on H hosts = items/s of /H/S over items/s of
+// Ref/H.  NOTE: worker threads are capped by the machine;
+// ShardedMultigroupResult.threads in the console output shows what a
+// run actually used — on a 1-core container every configuration
+// serialises and the sweep measures pure window/mailbox overhead
+// instead of speedup (see BENCH_pr3.json provenance note in ROADMAP).
+
+#include <benchmark/benchmark.h>
+
+#include "experiments/sharded_multigroup.hpp"
+
+namespace {
+
+using emcast::experiments::ShardedMultigroupConfig;
+using emcast::experiments::run_sharded_multigroup;
+
+ShardedMultigroupConfig scaled_config(std::size_t hosts) {
+  ShardedMultigroupConfig cfg;
+  cfg.kind = emcast::experiments::TrafficKind::Audio;
+  cfg.groups = 3;
+  cfg.hosts = hosts;
+  cfg.duration = 2.0;
+  cfg.warmup = 0.5;
+  cfg.seed = 11;
+  cfg.collect_trace = false;
+  return cfg;
+}
+
+void BM_ShardedScalingRef(benchmark::State& state) {
+  ShardedMultigroupConfig cfg =
+      scaled_config(static_cast<std::size_t>(state.range(0)));
+  cfg.single_threaded = true;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto r = run_sharded_multigroup(cfg);
+    state.SetIterationTime(r.run_seconds);
+    events += r.events_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ShardedScalingRef)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ShardedScaling(benchmark::State& state) {
+  ShardedMultigroupConfig cfg =
+      scaled_config(static_cast<std::size_t>(state.range(0)));
+  cfg.shards = static_cast<std::size_t>(state.range(1));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto r = run_sharded_multigroup(cfg);
+    state.SetIterationTime(r.run_seconds);
+    events += r.events_executed;
+    state.counters["threads"] = static_cast<double>(r.threads);
+    state.counters["rounds"] = static_cast<double>(r.rounds);
+    state.counters["xmsgs"] = static_cast<double>(r.messages);
+    state.counters["lookahead_ms"] = r.lookahead * 1e3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ShardedScaling)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

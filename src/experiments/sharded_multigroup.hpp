@@ -1,0 +1,92 @@
+#pragma once
+// Sharded multigroup dissemination: the scale experiment for the
+// ShardedSimulator.  K single-source groups multicast over their overlay
+// trees across N hosts; every forwarding host replicates copies through a
+// serialised uplink (classic store-and-forward: copy j departs at
+// max(now, uplink-free) + size/C) and each hop pays the app-layer
+// forwarding overhead plus the underlay propagation delay.
+//
+// The same model runs two ways:
+//   - single-threaded reference: one Simulator executes everything;
+//   - sharded: hosts are partitioned (attachment domains kept whole,
+//     weighted by forwarding fan-out), each shard simulates its hosts on
+//     its own kernel, and parent->child handoffs that cross shards ride
+//     the mailbox/window machinery with lookahead = forwarding overhead
+//     + minimum cross-shard edge propagation.
+//
+// Both ways compute every delivery time from the same float operands in
+// the same order, so the canonical delivery trace — all (time, group,
+// packet, host) records sorted by (time image, group, packet, host) — is
+// byte-identical between the reference, and every shard count, and every
+// worker-thread count.  The differential tests pin exactly that.
+//
+// (The model keeps per-host mutable state — the uplink-free time — so
+// window synchronisation is load-bearing: a message delivered into the
+// wrong window would reorder uplink serialisation and change delivery
+// times, not just their interleaving.  Event times are tie-free by
+// construction — sources are phase-randomised per group — so within-shard
+// tie-breaking never influences the canonical trace.)
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/scenarios.hpp"
+#include "util/types.hpp"
+
+namespace emcast::experiments {
+
+struct ShardedMultigroupConfig {
+  TrafficKind kind = TrafficKind::Audio;
+  int groups = 3;
+  std::size_t hosts = 665;
+  std::size_t cluster_k = 3;
+  double utilization = 0.5;  ///< sizes the per-host uplink capacity
+  Time duration = 4.0;
+  Time warmup = 1.0;
+  std::uint64_t seed = 11;
+  Time fwd_overhead = 250e-6;  ///< app-layer per-packet constant [s]
+  Rate fwd_cpu_rate = 200e6;   ///< app-layer copy rate [bit/s]
+
+  std::size_t shards = 1;   ///< model partitions (1 = degenerate sharding)
+  std::size_t threads = 0;  ///< worker threads; 0 = auto (throughput only)
+  /// Reference mode: one plain Simulator, no shard layer at all.
+  bool single_threaded = false;
+  bool collect_trace = false;  ///< record every delivery (tests)
+  std::size_t mailbox_capacity = 4096;
+  std::uint64_t topology_seed = 42;
+};
+
+/// One delivery, exact to the bit: time_key is the order-preserving
+/// integer image of the delivery time.
+struct ShardedDeliveryRecord {
+  std::uint64_t time_key = 0;
+  std::uint64_t packet_id = 0;
+  std::int32_t group = -1;
+  std::int32_t host = -1;
+  bool operator==(const ShardedDeliveryRecord&) const = default;
+};
+
+struct ShardedMultigroupResult {
+  Time worst_case_delay = 0;
+  Time mean_delay = 0;
+  std::uint64_t deliveries = 0;       ///< all deliveries (warm-up included)
+  std::uint64_t events_executed = 0;
+  double run_seconds = 0;             ///< wall time of the run() alone
+  // Sharding telemetry (zeros in single-threaded mode).
+  std::size_t shards = 1;
+  std::size_t threads = 1;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;         ///< cross-shard packets staged
+  std::uint64_t messages_spilled = 0;
+  std::size_t cross_edges = 0;
+  std::size_t total_edges = 0;
+  Time lookahead = 0;
+  /// Canonical trace, sorted by (time_key, group, packet, host); empty
+  /// unless collect_trace.
+  std::vector<ShardedDeliveryRecord> trace;
+};
+
+ShardedMultigroupResult run_sharded_multigroup(
+    const ShardedMultigroupConfig& config);
+
+}  // namespace emcast::experiments

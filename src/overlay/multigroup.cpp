@@ -1,5 +1,6 @@
 #include "overlay/multigroup.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -93,6 +94,51 @@ MultiGroupNetwork::MultiGroupNetwork(const topology::AttachedNetwork& net,
 
 Time MultiGroupNetwork::member_delay(std::size_t a, std::size_t b) const {
   return delays_->at(net_->hosts[a], net_->hosts[b]);
+}
+
+PartitionStats evaluate_partition(const MultiGroupNetwork& mg,
+                                  const std::vector<std::uint32_t>& shard_of) {
+  PartitionStats stats;
+  const std::size_t n = mg.host_count();
+  if (shard_of.size() != n) {
+    throw std::invalid_argument("evaluate_partition: size mismatch");
+  }
+  for (int g = 0; g < mg.groups(); ++g) {
+    const MulticastTree& tree = mg.tree(g);
+    for (std::size_t h = 0; h < tree.size(); ++h) {
+      if (h == tree.root()) continue;
+      const std::size_t p = tree.parent(h);
+      ++stats.total_edges;
+      if (shard_of[p] != shard_of[h]) {
+        ++stats.cross_edges;
+        const Time d = mg.member_delay(p, h);
+        if (d < stats.min_cross_delay) stats.min_cross_delay = d;
+      }
+    }
+  }
+  std::uint32_t shards = 0;
+  for (const std::uint32_t s : shard_of) shards = std::max(shards, s + 1);
+  std::vector<std::size_t> load(shards, 0);
+  for (const std::uint32_t s : shard_of) ++load[s];
+  for (const std::size_t l : load) {
+    stats.max_shard_hosts = std::max(stats.max_shard_hosts, l);
+  }
+  return stats;
+}
+
+topology::HostPartition derive_partition(const MultiGroupNetwork& mg,
+                                         std::size_t shards) {
+  // Event load per host ~ deliveries it handles plus copies it forwards:
+  // 1 (its own delivery, once per tree) + its children count per tree.
+  const std::size_t n = mg.host_count();
+  std::vector<double> weight(n, 0.0);
+  for (int g = 0; g < mg.groups(); ++g) {
+    const MulticastTree& tree = mg.tree(g);
+    for (std::size_t h = 0; h < tree.size(); ++h) {
+      weight[h] += 1.0 + static_cast<double>(tree.children(h).size());
+    }
+  }
+  return topology::partition_by_attachment(mg.network(), shards, weight);
 }
 
 }  // namespace emcast::overlay

@@ -13,6 +13,7 @@
 #include "overlay/nice.hpp"
 #include "overlay/tree.hpp"
 #include "topology/host_attachment.hpp"
+#include "topology/partition.hpp"
 #include "topology/shortest_path.hpp"
 
 namespace emcast::overlay {
@@ -63,5 +64,28 @@ class MultiGroupNetwork {
   std::vector<MulticastTree> trees_;
   std::vector<std::size_t> sources_;
 };
+
+/// Quality of a host partition with respect to the K overlay trees: how
+/// many tree edges cross shards, and the minimum underlay delay over the
+/// crossing edges — the quantity the sharded simulator's conservative
+/// lookahead is derived from.
+struct PartitionStats {
+  std::size_t cross_edges = 0;
+  std::size_t total_edges = 0;
+  /// min over cross-shard tree edges of member_delay(parent, child);
+  /// kTimeInfinity when no edge crosses (single shard).
+  Time min_cross_delay = kTimeInfinity;
+  std::size_t max_shard_hosts = 0;
+};
+
+PartitionStats evaluate_partition(const MultiGroupNetwork& mg,
+                                  const std::vector<std::uint32_t>& shard_of);
+
+/// Derive a sharding partition for a built multigroup overlay: attachment
+/// domains stay whole (locality / large lookahead), weighted by each
+/// host's forwarding fan-out across the K trees (balance of the actual
+/// event load, not just host counts).
+topology::HostPartition derive_partition(const MultiGroupNetwork& mg,
+                                         std::size_t shards);
 
 }  // namespace emcast::overlay

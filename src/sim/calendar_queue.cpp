@@ -31,6 +31,38 @@ void CalendarPendingSet::sort_bucket(std::size_t b) {
   heads_[b] = idx_scratch_[0] | kSortedBit;
 }
 
+void CalendarPendingSet::collapse_to_small() {
+  // The population drained below the hysteresis floor: hand the bucket
+  // chains back to the overflow heap and run heap-only until the count
+  // earns the calendar again.  All arrays are retained — a later upgrade
+  // rebuild reuses them — so mode churn never allocates in steady state.
+  small_mode_ = true;
+  ++mode_switches_;
+  cursor_ = kNoCursor;
+  overflow_.reserve(size_);
+  if (in_buckets_ != 0) {
+    for (std::size_t w = 0; w < occupied_.size(); ++w) {
+      std::uint64_t word = occupied_[w];
+      occupied_[w] = 0;
+      while (word != 0) {
+        const std::size_t b =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        std::uint32_t idx = heads_[b] & kIndexMask;
+        heads_[b] = kNil;
+        while (idx != kNil) {
+          const std::uint32_t next = pool_[idx].next;
+          overflow_.push(pool_[idx].entry);  // capacity reserved above
+          free_node(idx);
+          idx = next;
+        }
+      }
+    }
+  }
+  in_buckets_ = 0;
+  hint_ = 0;
+}
+
 void CalendarPendingSet::advance_year() {
   // Reached with every bucket empty (heads all kNil, bitmap zero) and the
   // whole population in the overflow heap: re-aim the year at the overflow

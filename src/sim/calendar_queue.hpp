@@ -36,6 +36,17 @@
 // geometry: equal keys share a bucket, earlier days live in earlier
 // buckets, and the overflow year only drains when the buckets are empty —
 // so the heap policy and this policy produce byte-identical event orders.
+//
+// Size-adaptive small mode.  Below ~1k pending events the per-op bucket
+// bookkeeping loses to an L2-resident heap sift (the ~10% small-population
+// gap vs. PendingHeap), so the policy runs *population-adaptive*: while
+// the pending count stays under kSmallModeMax, every structured entry
+// lives in the overflow heap (the PendingHeap policy path) and the bucket
+// machinery is never touched; crossing the threshold rebuilds into the
+// calendar layout, and draining below kSmallModeMin (wide hysteresis, no
+// thrash) collapses back.  The front register works identically in both
+// modes, and since the heap pops exact (time_key, seq) order too, mode
+// switches are invisible to event ordering.
 
 #include <bit>
 #include <cassert>
@@ -76,6 +87,8 @@ class CalendarPendingSet {
   std::size_t overflow_count() const { return overflow_.size(); }
   std::uint64_t rebuild_count() const { return rebuilds_; }
   std::uint64_t year_advance_count() const { return year_advances_; }
+  bool small_mode() const { return small_mode_; }
+  std::uint64_t mode_switches() const { return mode_switches_; }
   std::uint32_t day_shift() const { return day_shift_; }
   const PendingHeap& overflow() const { return overflow_; }
   const void* pool_data() const { return pool_.data(); }
@@ -89,6 +102,12 @@ class CalendarPendingSet {
   static constexpr std::uint32_t kIndexMask = kSortedBit - 1;
   static constexpr std::size_t kMinBuckets = 16;
   static constexpr std::size_t kMaxBuckets = std::size_t{1} << 16;
+  /// Small-mode hysteresis: heap-only below, calendar above (see header
+  /// comment).  The upper bound sits at the measured heap/calendar
+  /// crossover; the 4x gap makes threshold churn cost O(n) only once per
+  /// quarter-population drain.
+  static constexpr std::size_t kSmallModeMax = 1024;
+  static constexpr std::size_t kSmallModeMin = 256;
   /// Day widths are capped at 2^47 key units: with <= 2^16 buckets the
   /// year span stays below 2^63 and the shift arithmetic cannot overflow.
   /// (Key spans are wide: the integer time image inflates one double
@@ -127,6 +146,7 @@ class CalendarPendingSet {
   void link_entry(PendingEntry e);  ///< chain insert, no size_ change
   void insert_structure(PendingEntry e);  ///< bucket/overflow insert
   PendingEntry structure_pop();  ///< earliest bucket/overflow entry
+  void collapse_to_small();  ///< move every bucket entry into the heap
   std::size_t find_first_occupied() const;
   std::size_t locate_min();
   void sort_bucket(std::size_t b);
@@ -161,6 +181,11 @@ class CalendarPendingSet {
   /// a next_time()/pop() pair pays for one bucket search, not three.
   static constexpr std::size_t kNoCursor = ~std::size_t{0};
   std::size_t cursor_ = kNoCursor;
+  /// Population-adaptive mode (see header comment): structured entries
+  /// live in the overflow heap alone until the population earns the
+  /// bucket bookkeeping.
+  bool small_mode_ = true;
+  std::uint64_t mode_switches_ = 0;
   std::uint64_t rebuilds_ = 0;
   std::uint64_t year_advances_ = 0;
 };
@@ -210,6 +235,19 @@ inline void CalendarPendingSet::push(PendingEntry e) {
 
 inline void CalendarPendingSet::insert_structure(PendingEntry e) {
   cursor_ = kNoCursor;
+  if (small_mode_) {
+    if (size_ + 1 > kSmallModeMax) [[unlikely]] {
+      // The population outgrew the heap's cache residency: promote to
+      // the calendar layout (rebuild gathers the heap + e and derives
+      // the year geometry from the full population).
+      small_mode_ = false;
+      ++mode_switches_;
+      rebuild(&e);
+      return;
+    }
+    overflow_.push(e);
+    return;
+  }
   if (in_buckets_ == 0 && overflow_.empty()) [[unlikely]] {
     if (heads_.empty()) {
       rebuild(&e);  // first ever structured entry: allocate the arrays
@@ -266,6 +304,7 @@ inline std::size_t CalendarPendingSet::locate_min() {
 }
 
 inline PendingEntry CalendarPendingSet::structure_pop() {
+  if (small_mode_) return overflow_.pop_min();
   const std::size_t b = locate_min();
   const std::uint32_t node = heads_[b] & kIndexMask;
   Node& n = pool_[node];
@@ -293,6 +332,11 @@ inline PendingEntry CalendarPendingSet::pop_min() {
 }
 
 inline void CalendarPendingSet::maybe_shrink() {
+  if (small_mode_) return;
+  if (size_ < kSmallModeMin) [[unlikely]] {
+    collapse_to_small();
+    return;
+  }
   if (heads_.size() > kMinBuckets && size_ < heads_.size() / 8) [[unlikely]] {
     rebuild(nullptr);
   }

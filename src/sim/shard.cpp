@@ -1,0 +1,31 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+
+namespace emcast::sim {
+
+std::size_t Shard::drain_and_schedule() {
+  drain_buf_.clear();
+  for (auto& mailbox : incoming_) {
+    if (mailbox) mailbox->drain_into(drain_buf_);
+  }
+  if (drain_buf_.empty()) return 0;
+  // Deterministic merge: thread timing decided nothing about this order,
+  // so the local sequence numbers the handler's schedule_at calls assign
+  // — and with them the (time, seq) fire order — replay identically on
+  // every run, for every worker-thread count.
+  std::sort(drain_buf_.begin(), drain_buf_.end(), msg_before);
+  assert(handler_ != nullptr && "sharded run without a message handler");
+  in_drain_ = true;
+  try {
+    for (const CrossShardMsg& m : drain_buf_) (*handler_)(*this, m);
+  } catch (...) {
+    in_drain_ = false;  // the run aborts, but keep the guard consistent
+    throw;
+  }
+  in_drain_ = false;
+  messages_received_ += drain_buf_.size();
+  return drain_buf_.size();
+}
+
+}  // namespace emcast::sim

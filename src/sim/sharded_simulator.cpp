@@ -1,0 +1,218 @@
+#include "sim/sharded_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/pending_entry.hpp"
+
+namespace emcast::sim {
+
+namespace {
+
+/// All pending times are finite (push rejects non-finite), so the key of
+/// +infinity is a safe "empty" sentinel for the min-reduction.
+const std::uint64_t kInfKey = time_key(kTimeInfinity);
+
+/// Abort vote: rides the min-reduction below every real time key (keys of
+/// finite times are never 0 — non-negative times set the sign bit and the
+/// all-ones pattern that complements to 0 is a NaN, which push rejects).
+/// A failed worker votes this instead of a next-event time; every thread
+/// then observes the abort at the same aligned decision point it reads
+/// the window from, so the exit cannot split across barrier indices the
+/// way an asynchronous flag can.
+constexpr std::uint64_t kAbortKey = 0;
+
+void fetch_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(const ShardedConfig& config)
+    : config_(config),
+      threads_([&] {
+        const std::size_t shards = std::max<std::size_t>(1, config.shards);
+        std::size_t t = config.threads != 0
+                            ? config.threads
+                            : std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency());
+        return std::min(shards, std::max<std::size_t>(1, t));
+      }()),
+      barrier_(threads_) {
+  if (!(config.lookahead > 0) || !std::isfinite(config.lookahead)) {
+    throw std::invalid_argument("ShardedSimulator: lookahead must be > 0");
+  }
+  const std::size_t n = std::max<std::size_t>(1, config.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.emplace_back(std::unique_ptr<Shard>(new Shard()));
+    Shard& s = *shards_.back();
+    s.index_ = i;
+    s.lookahead_ = config.lookahead;
+    s.incoming_.resize(n);
+    s.drain_buf_.reserve(64);
+  }
+  // Mailbox wiring: shard i's outgoing_[j] is the (i -> j) mailbox owned
+  // by shard j's incoming side, so producer thread == i's worker and
+  // consumer thread == j's worker by construction.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      auto box = std::make_unique<ShardMailbox>();
+      box->init(static_cast<std::uint32_t>(i), config.mailbox_capacity);
+      shards_[j]->incoming_[i] = std::move(box);
+    }
+    shards_[j]->outgoing_.resize(n, nullptr);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      shards_[i]->outgoing_[j] = shards_[j]->incoming_[i].get();
+    }
+  }
+  min_key_[0].store(kInfKey, std::memory_order_relaxed);
+  min_key_[1].store(kInfKey, std::memory_order_relaxed);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::set_message_handler(ShardMsgHandler handler) {
+  handler_ = std::move(handler);
+  for (auto& s : shards_) s->handler_ = &handler_;
+}
+
+std::uint64_t ShardedSimulator::run(Time until) {
+  events_before_run_ = events_executed();
+  first_error_ = nullptr;
+  min_key_[0].store(kInfKey, std::memory_order_relaxed);
+  min_key_[1].store(kInfKey, std::memory_order_relaxed);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads_ - 1);
+  for (std::size_t t = 1; t < threads_; ++t) {
+    workers.emplace_back([this, t, until] { worker(t, until); });
+  }
+  worker(0, until);
+  for (auto& w : workers) w.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+  return events_executed() - events_before_run_;
+}
+
+void ShardedSimulator::record_error() noexcept {
+  std::lock_guard lock(error_mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void ShardedSimulator::worker(std::size_t t, Time until) {
+  if (config_.pin_threads) util::pin_thread_to_core(t);
+  worker_rounds(t, until);
+}
+
+void ShardedSimulator::worker_rounds(std::size_t t, Time until) {
+  const std::size_t n = shards_.size();
+  const std::size_t begin = t * n / threads_;
+  const std::size_t end = (t + 1) * n / threads_;
+  // Events at exactly `until` execute (Simulator::run parity); the
+  // window bound is exclusive, so cap it one ulp past the horizon.
+  const Time horizon_bound = std::nextafter(until, kTimeInfinity);
+
+  // A model exception anywhere must not strand the other workers at a
+  // barrier.  The failed thread keeps walking the barrier protocol but
+  // stops doing work and votes kAbortKey into every subsequent round's
+  // reduction; all threads see the abort at the aligned window-decision
+  // point — never split across barrier indices — and exit together.
+  // (An asynchronous abort *flag* deadlocks here: a thread parked at the
+  // mid barrier can observe a flag set by a thread already past its
+  // process phase, leave early, and strand the others one barrier later.)
+  bool failed = false;
+
+  for (std::uint64_t round = 0;; ++round) {
+    // ---- drain phase: merge mailboxes, contribute to the reduction.
+    std::uint64_t local_min = kAbortKey;
+    if (!failed) {
+      try {
+        local_min = kInfKey;
+        for (std::size_t s = begin; s < end; ++s) {
+          shards_[s]->drain_and_schedule();
+          const Time nt = shards_[s]->sim_.next_event_time();
+          local_min = std::min(local_min, time_key(nt));
+        }
+      } catch (...) {
+        record_error();
+        failed = true;
+        local_min = kAbortKey;
+      }
+    }
+    fetch_min(min_key_[round & 1], local_min);
+    // Reset the other parity slot for round + 1: its round-(r-1) readers
+    // are two barrier edges behind us, its round-(r+1) writers one ahead.
+    min_key_[(round + 1) & 1].store(kInfKey, std::memory_order_relaxed);
+    barrier_.arrive_and_wait();
+
+    // ---- window decision: every thread derives the identical verdict.
+    const std::uint64_t kmin =
+        min_key_[round & 1].load(std::memory_order_relaxed);
+    if (kmin == kAbortKey) return;  // someone failed: exit, aligned
+    if (kmin == kInfKey) break;  // all shards drained, nothing in flight
+    const Time tmin = key_time(kmin);
+    if (tmin > until) break;  // horizon reached; beyond-horizon events stay
+    Time w = tmin + config_.lookahead;
+    if (!(w > tmin)) w = std::nextafter(tmin, kTimeInfinity);
+    w = std::min(w, horizon_bound);
+
+    // ---- process phase: run the window on this worker's shard block.
+    if (!failed) {
+      try {
+        for (std::size_t s = begin; s < end; ++s) {
+          shards_[s]->sim_.run_before(w);
+        }
+      } catch (...) {
+        record_error();
+        failed = true;  // voted into round r+1's reduction above
+      }
+    }
+    if (t == 0) ++rounds_;
+    barrier_.arrive_and_wait();
+  }
+
+  // Epilogue: drained shards advance their clock to the horizon exactly
+  // as a lone Simulator::run(until) would.  No events can execute here
+  // (every remaining event is beyond the horizon), so this cannot throw.
+  for (std::size_t s = begin; s < end; ++s) {
+    shards_[s]->sim_.run(until);
+  }
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->events_executed();
+  return sum;
+}
+
+std::uint64_t ShardedSimulator::messages_posted() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) {
+    for (const auto& box : s->incoming_) {
+      if (box) sum += box->posted();
+    }
+  }
+  return sum;
+}
+
+std::uint64_t ShardedSimulator::messages_spilled() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) {
+    for (const auto& box : s->incoming_) {
+      if (box) sum += box->spilled();
+    }
+  }
+  return sum;
+}
+
+}  // namespace emcast::sim

@@ -73,6 +73,28 @@ class BasicSimulator {
     return executed;
   }
 
+  /// Window-bounded run for the sharded scheduler: execute every event
+  /// strictly *before* `bound` and stop, leaving the clock at the last
+  /// fired event.  The exclusive bound is what makes conservative windows
+  /// airtight — a cross-shard arrival stamped exactly at a window end W
+  /// can never race an event this call executes, because nothing at or
+  /// past W runs until the next window.  Returns events executed.
+  std::uint64_t run_before(Time bound) {
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.next_time() < bound) {
+      auto fired = queue_.pop();
+      assert(fired.time + 1e-12 >= now_ && "event time went backwards");
+      now_ = fired.time;
+      fired.fn();
+      ++executed;
+    }
+    events_executed_ += executed;
+    return executed;
+  }
+
+  /// Time of the earliest pending event (kTimeInfinity when drained).
+  Time next_event_time() { return queue_.next_time(); }
+
   /// Request run() to return after the current event completes.
   void stop() { stop_requested_ = true; }
 

@@ -15,6 +15,14 @@ void DelayTracer::record_delay(FlowId flow, Time delay, Time now) {
   per_flow_[flow].add(delay);
 }
 
+void DelayTracer::merge(const DelayTracer& other) {
+  all_.merge(other.all_);
+  for (const auto& [flow, stats] : other.per_flow_) {
+    per_flow_[flow].merge(stats);
+  }
+  dropped_warmup_ += other.dropped_warmup_;
+}
+
 const util::OnlineStats& DelayTracer::flow(FlowId f) const {
   static const util::OnlineStats kEmpty;
   auto it = per_flow_.find(f);

@@ -26,6 +26,14 @@ class DelayTracer {
   /// Record an explicit delay value (for per-hop components).
   void record_delay(FlowId flow, Time delay, Time now);
 
+  /// Fold another tracer's samples into this one (shard-aware tracing:
+  /// each shard of a sharded simulation records into its own tracer with
+  /// no cross-thread traffic, and the harness merges at the end).  Count,
+  /// min/max — and therefore worst_case() — are exact; mean/variance are
+  /// Welford-merged (Chan), so they can differ from a sequential
+  /// accumulation by float rounding only.
+  void merge(const DelayTracer& other);
+
   Time worst_case() const { return all_.count() ? all_.max() : 0.0; }
   const util::OnlineStats& all() const { return all_; }
 

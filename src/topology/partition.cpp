@@ -1,0 +1,62 @@
+#include "topology/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emcast::topology {
+
+std::size_t HostPartition::max_load() const {
+  std::vector<std::size_t> load(shards, 0);
+  for (const std::uint32_t s : shard_of) ++load[s];
+  return load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+}
+
+HostPartition partition_by_attachment(const AttachedNetwork& net,
+                                      std::size_t shards,
+                                      const std::vector<double>& weight) {
+  const std::size_t n = net.hosts.size();
+  if (shards == 0) throw std::invalid_argument("partition: shards == 0");
+  if (!weight.empty() && weight.size() != n) {
+    throw std::invalid_argument("partition: weight size != host count");
+  }
+  HostPartition part;
+  part.shards = shards;
+  part.shard_of.assign(n, 0);
+  if (shards == 1 || n == 0) return part;
+
+  // Gather attachment domains: the hosts behind each backbone router.
+  struct Domain {
+    NodeId router;
+    double weight = 0;
+    std::vector<std::uint32_t> hosts;
+  };
+  std::vector<Domain> domains(net.router_count);
+  for (std::size_t r = 0; r < net.router_count; ++r) {
+    domains[r].router = static_cast<NodeId>(r);
+  }
+  for (std::size_t h = 0; h < n; ++h) {
+    Domain& d = domains[static_cast<std::size_t>(net.attachment[h])];
+    d.hosts.push_back(static_cast<std::uint32_t>(h));
+    d.weight += weight.empty() ? 1.0 : weight[h];
+  }
+  // Largest-first into the lightest shard — the classic LPT heuristic,
+  // fully deterministic (ties by router id, then shard index).
+  std::sort(domains.begin(), domains.end(), [](const Domain& a,
+                                               const Domain& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.router < b.router;
+  });
+  std::vector<double> load(shards, 0.0);
+  for (const Domain& d : domains) {
+    if (d.hosts.empty()) continue;
+    const std::size_t target = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    for (const std::uint32_t h : d.hosts) {
+      part.shard_of[h] = static_cast<std::uint32_t>(target);
+    }
+    load[target] += d.weight;
+  }
+  return part;
+}
+
+}  // namespace emcast::topology

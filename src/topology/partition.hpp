@@ -1,0 +1,40 @@
+#pragma once
+// Host-partition derivation for the sharded simulator.  Shards want two
+// properties from a partition: balance (each shard carries a similar
+// share of the event load) and locality (few tree edges cross shards, so
+// the conservative lookahead — the minimum cross-shard latency — stays
+// large and the mailbox traffic small).
+//
+// The attachment structure gives both almost for free: hosts that attach
+// to the same backbone router form the local domains the DSCT/NICE
+// cluster builders keep together, so tree edges are heavily intra-domain.
+// Partitioning whole router domains keeps those edges internal; greedy
+// largest-domain-first assignment keeps the shards balanced.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/host_attachment.hpp"
+
+namespace emcast::topology {
+
+struct HostPartition {
+  std::vector<std::uint32_t> shard_of;  ///< host index -> shard index
+  std::size_t shards = 1;
+
+  std::size_t shard(std::size_t host) const { return shard_of[host]; }
+
+  /// Host count of the fullest shard (balance diagnostic).
+  std::size_t max_load() const;
+};
+
+/// Partition the hosts of `net` into `shards` parts, keeping every
+/// attachment domain (hosts sharing a backbone router) whole and
+/// balancing by weight.  `weight[i]` is host i's load estimate; empty
+/// means uniform.  Deterministic: domains are assigned largest-first to
+/// the lightest shard, ties broken by router id and shard index.
+HostPartition partition_by_attachment(const AttachedNetwork& net,
+                                      std::size_t shards,
+                                      const std::vector<double>& weight = {});
+
+}  // namespace emcast::topology

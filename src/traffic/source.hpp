@@ -4,8 +4,6 @@
 // burst (e.g. one video frame handed to the network at once) that the
 // downstream regulator/link serialises.
 
-#include <functional>
-
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "traffic/flow_spec.hpp"
@@ -13,7 +11,11 @@
 
 namespace emcast::traffic {
 
-using PacketSink = std::function<void(sim::Packet)>;
+/// Non-allocating sink: the same inline-capture callback type the per-hop
+/// pipeline uses (sim::PacketFn, 56-byte capture bound).  Sinks capture a
+/// few pointers/indices; bigger state belongs behind a pointer.  Move-only
+/// — a source takes ownership of its sink at start().
+using PacketSink = sim::PacketFn;
 
 class Source {
  public:

@@ -164,31 +164,86 @@ TEST(CalendarDeterminism, DrainRefillCyclesReaimTheYear) {
 TEST(CalendarQueue, WorkloadActuallyExercisesTheCalendarMachinery) {
   // White-box: the differential scenarios above are only meaningful if
   // they actually drive resizes and the overflow year, so pin that here.
+  // (An 8% far tail: under the day-width estimator's 90th-percentile
+  // trim, so the tail rides the overflow year — and, at ~320 records,
+  // above the small-mode floor, so the in-year events exhaust and the
+  // year advances while the policy is still in calendar mode.)
   CalendarEventQueue q;
   util::Rng rng(17);
   std::vector<EventHandle> handles;
   for (int i = 0; i < 4000; ++i) {
-    // 5% far-future: beyond the 90th-percentile trim of the day-width
-    // estimator, so these must ride the overflow year.
-    const double t = rng.uniform() < 0.95 ? rng.uniform(0.0, 10.0)
+    const double t = rng.uniform() < 0.92 ? rng.uniform(0.0, 10.0)
                                           : rng.uniform(1e6, 1e9);
     handles.push_back(q.push(t, [] {}));
   }
   const auto& cal = q.pending_policy();
+  EXPECT_FALSE(cal.small_mode());
   EXPECT_GT(cal.bucket_count(), 16u) << "bucket count never grew";
-  EXPECT_GT(cal.overflow_count(), 0u) << "overflow year never used";
-  EXPECT_GT(cal.rebuild_count(), 2u);
+  EXPECT_GT(cal.overflow_count(), 255u) << "overflow year never used";
+  EXPECT_GT(cal.rebuild_count(), 0u);
   for (std::size_t i = 0; i < handles.size(); i += 3) handles[i].cancel();
   double prev = -1.0;
   std::size_t popped = 0;
+  std::uint64_t advances_while_calendar = 0;
   while (!q.empty()) {
+    if (!cal.small_mode()) advances_while_calendar = cal.year_advance_count();
     const auto fired = q.pop();
     EXPECT_GE(fired.time, prev);
     prev = fired.time;
     ++popped;
   }
   EXPECT_EQ(popped, 4000u - (4000u + 2) / 3);
-  EXPECT_GT(cal.year_advance_count(), 0u) << "year never advanced";
+  EXPECT_GT(advances_while_calendar, 0u) << "year never advanced";
+}
+
+TEST(CalendarQueue, SmallPopulationsRunOnTheHeapPolicyPath) {
+  // Size-adaptive small mode: below the threshold every structured entry
+  // lives in the overflow heap and the bucket machinery stays cold.
+  CalendarEventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(q.push(static_cast<double>(i), [] {}));
+  }
+  const auto& cal = q.pending_policy();
+  EXPECT_TRUE(cal.small_mode());
+  EXPECT_EQ(cal.in_bucket_count(), 0u) << "buckets touched below threshold";
+  EXPECT_EQ(cal.rebuild_count(), 0u);
+  EXPECT_EQ(cal.overflow_count(), 999u);  // population minus the front
+  double prev = -1.0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, prev);
+    prev = fired.time;
+  }
+  EXPECT_EQ(cal.mode_switches(), 0u);
+}
+
+TEST(CalendarQueue, ModeTransitionsHaveHysteresisAndPreserveOrder) {
+  // Grow through the upgrade threshold, drain through the collapse
+  // threshold, and check the pop stream stays exactly (time, seq)-sorted
+  // across both transitions.
+  CalendarEventQueue q;
+  const int n = 3000;
+  util::Rng rng(18);
+  std::vector<double> times;
+  for (int i = 0; i < n; ++i) times.push_back(rng.uniform(0.0, 100.0));
+  for (const double t : times) q.push(t, [] {});
+  const auto& cal = q.pending_policy();
+  EXPECT_FALSE(cal.small_mode()) << "upgrade threshold never crossed";
+  EXPECT_EQ(cal.mode_switches(), 1u);
+  EXPECT_GT(cal.in_bucket_count(), 0u);
+  double prev = -1.0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    ASSERT_GE(fired.time, prev) << "order broke at pop " << popped;
+    prev = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, static_cast<std::size_t>(n));
+  EXPECT_TRUE(cal.small_mode()) << "collapse threshold never crossed";
+  EXPECT_EQ(cal.mode_switches(), 2u);
+  EXPECT_EQ(cal.in_bucket_count(), 0u);
 }
 
 TEST(CalendarQueue, CompactionPurgesDeadRecordsInBucketsAndOverflow) {

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/event_queue.hpp"
+#include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -138,6 +139,110 @@ TEST(EngineAllocation, HeapPolicyChurnIsAllocationFree) {
   EXPECT_EQ(g_allocations.load(), before);
   EXPECT_EQ(q.pending_policy().buffer(), buffer);
   EXPECT_EQ(q.pending_policy().capacity(), cap);
+}
+
+TEST(EngineAllocation, ShardedSteadyStateIsAllocationFreeAndArenasPinned) {
+  // The sharded layer's steady state: window rounds, cross-shard posts
+  // through the mailbox rings (with deliberate spill traffic), drains,
+  // and local scheduling.  After a warm-up run that grows every arena —
+  // mailbox rings and spill vectors, drain buffers, event slabs, pending
+  // sets — a second identical run must allocate nothing and move nothing.
+  // threads = 1 keeps the scheduler in-process (std::thread startup
+  // allocates by design); the schedule is identical for every thread
+  // count, so this pins the same code path the parallel runs execute.
+  ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 1;
+  cfg.lookahead = 0.5;
+  cfg.mailbox_capacity = 4;  // force ring overflow into the spill vector
+  ShardedSimulator sharded(cfg);
+  sharded.set_message_handler([](Shard& shard, const CrossShardMsg& m) {
+    struct Arrive {
+      Shard* shard;
+      Packet p;
+      void operator()() const {
+        // Only the leader packet (id 1) volleys onward, posting a burst
+        // of 6 — more than the ring holds, so the spill path stays hot —
+        // of which 5 are inert dummies (id 0).
+        if (p.id == 1 && shard->now() < 40.0) {
+          for (int i = 0; i < 6; ++i) {
+            Packet copy = p;
+            copy.id = i == 0 ? 1 : 0;
+            shard->post(1 - shard->index(), copy, 0,
+                        shard->now() + shard->lookahead());
+          }
+        }
+      }
+    };
+    shard.sim().schedule_at(m.deliver_at, Arrive{&shard, m.packet});
+  });
+
+  sharded.shard(0).sim().schedule_at(0.0, [&sharded] {
+    Packet p;
+    p.id = 1;
+    sharded.shard(0).post(1, p, 0,
+                          sharded.shard(0).now() + sharded.lookahead());
+  });
+  sharded.run(20.0);  // warm-up: grows ring spill, slabs, drain buffers
+  const std::size_t before = g_allocations.load();
+  struct MailboxArenas {
+    const void* ring[2];
+    std::size_t spill_cap[2];
+    std::size_t drain_cap[2];
+  };
+  auto arenas = [&] {
+    MailboxArenas a{};
+    for (std::size_t s = 0; s < 2; ++s) {
+      const ShardMailbox* box = sharded.shard(s).incoming(1 - s);
+      a.ring[s] = box->ring_buffer();
+      a.spill_cap[s] = box->spill_capacity();
+      a.drain_cap[s] = sharded.shard(s).drain_buffer_capacity();
+    }
+    return a;
+  };
+  const MailboxArenas warm = arenas();
+  sharded.run(40.0);  // the volley continues: identical steady traffic
+  EXPECT_EQ(g_allocations.load(), before)
+      << "sharded window/mailbox steady state must not allocate";
+  const MailboxArenas after = arenas();
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(after.ring[s], warm.ring[s]) << "mailbox ring moved";
+    EXPECT_EQ(after.spill_cap[s], warm.spill_cap[s]) << "spill arena grew";
+    EXPECT_EQ(after.drain_cap[s], warm.drain_cap[s]) << "drain arena grew";
+  }
+  EXPECT_GT(sharded.messages_spilled(), 0u)
+      << "the workload must actually exercise the spill path";
+}
+
+TEST(EngineAllocation, SmallModeChurnIsAllocationFree) {
+  // The size-adaptive pending set below the small-mode threshold: pure
+  // heap-path churn through the calendar policy must stay allocation-free
+  // and must never touch (allocate) the bucket arrays.
+  EventQueue q;
+  constexpr int kOutstanding = 500;  // below kSmallModeMin -> heap mode
+  std::vector<EventHandle> handles(kOutstanding);
+  for (int i = 0; i < kOutstanding; ++i) {
+    handles[static_cast<std::size_t>(i)] =
+        q.push(static_cast<double>(i), [] {});
+  }
+  while (!q.empty()) q.pop().fn();
+
+  const std::size_t before = g_allocations.load();
+  double clock = static_cast<double>(kOutstanding);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < kOutstanding; ++i) {
+      handles[static_cast<std::size_t>(i)] = q.push(clock + i, [] {});
+    }
+    for (int i = 0; i < kOutstanding; i += 2) {
+      handles[static_cast<std::size_t>(i)].cancel();
+    }
+    while (!q.empty()) q.pop().fn();
+    clock += kOutstanding;
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_TRUE(q.pending_policy().small_mode());
+  EXPECT_EQ(q.pending_policy().bucket_count(), 0u)
+      << "small-mode churn must leave the bucket machinery untouched";
 }
 
 TEST(EngineAllocation, SimulatorEventLoopIsAllocationFree) {

@@ -1,0 +1,209 @@
+// Differential determinism suite for the sharded simulator.
+//
+// The contract under test: a sharded run of the multigroup dissemination
+// model produces a byte-identical canonical delivery trace to the
+// single-threaded Simulator on the same model — for every shard count,
+// every worker-thread count, and every mailbox capacity (including ones
+// tiny enough to force the spill path).  Plus direct ShardedSimulator
+// mechanics: window progression, message ordering, error propagation.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "experiments/sharded_multigroup.hpp"
+#include "sim/sharded_simulator.hpp"
+
+namespace emcast {
+namespace {
+
+using experiments::ShardedMultigroupConfig;
+using experiments::ShardedMultigroupResult;
+using experiments::run_sharded_multigroup;
+
+ShardedMultigroupConfig base_config() {
+  ShardedMultigroupConfig cfg;
+  cfg.kind = experiments::TrafficKind::Audio;
+  cfg.groups = 3;
+  cfg.hosts = 96;
+  cfg.duration = 1.0;
+  cfg.warmup = 0.25;
+  cfg.seed = 7;
+  cfg.collect_trace = true;
+  return cfg;
+}
+
+ShardedMultigroupResult reference_run() {
+  ShardedMultigroupConfig cfg = base_config();
+  cfg.single_threaded = true;
+  return run_sharded_multigroup(cfg);
+}
+
+TEST(ShardedSimDifferential, ReferenceProducesTraffic) {
+  const auto ref = reference_run();
+  EXPECT_GT(ref.deliveries, 1000u);
+  EXPECT_EQ(ref.trace.size(), ref.deliveries);
+  EXPECT_GT(ref.worst_case_delay, 0.0);
+}
+
+TEST(ShardedSimDifferential, ShardCountsProduceByteIdenticalTraces) {
+  const auto ref = reference_run();
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedMultigroupConfig cfg = base_config();
+    cfg.shards = shards;
+    const auto sharded = run_sharded_multigroup(cfg);
+    EXPECT_EQ(sharded.deliveries, ref.deliveries) << shards << " shards";
+    // max is order-independent: bit-equal, not just approximately equal.
+    EXPECT_EQ(sharded.worst_case_delay, ref.worst_case_delay)
+        << shards << " shards";
+    ASSERT_TRUE(sharded.trace == ref.trace)
+        << shards << " shards: canonical delivery traces differ";
+    if (shards > 1) {
+      EXPECT_GT(sharded.messages, 0u) << "expected cross-shard traffic";
+      EXPECT_GT(sharded.rounds, 0u);
+      EXPECT_GT(sharded.lookahead, 0.0);
+    }
+  }
+}
+
+TEST(ShardedSimDifferential, WorkerThreadCountNeverChangesTheTrace) {
+  const auto ref = reference_run();
+  for (const std::size_t threads : {1u, 2u, 3u, 4u}) {
+    ShardedMultigroupConfig cfg = base_config();
+    cfg.shards = 4;
+    cfg.threads = threads;
+    const auto sharded = run_sharded_multigroup(cfg);
+    ASSERT_TRUE(sharded.trace == ref.trace)
+        << threads << " worker threads: traces differ";
+  }
+}
+
+TEST(ShardedSimDifferential, RepeatedRunsAreIdentical) {
+  ShardedMultigroupConfig cfg = base_config();
+  cfg.shards = 4;
+  const auto a = run_sharded_multigroup(cfg);
+  const auto b = run_sharded_multigroup(cfg);
+  ASSERT_TRUE(a.trace == b.trace);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(ShardedSimDifferential, MailboxSpillPathPreservesTheTrace) {
+  const auto ref = reference_run();
+  ShardedMultigroupConfig cfg = base_config();
+  cfg.shards = 4;
+  cfg.mailbox_capacity = 1;  // ~every staged message overflows the ring
+  const auto sharded = run_sharded_multigroup(cfg);
+  EXPECT_GT(sharded.messages_spilled, 0u)
+      << "capacity 1 should force the spill path";
+  ASSERT_TRUE(sharded.trace == ref.trace);
+}
+
+// ---- direct ShardedSimulator mechanics ----------------------------------
+
+TEST(ShardedSimulator, RejectsNonPositiveLookahead) {
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 0.0;
+  EXPECT_THROW(sim::ShardedSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(ShardedSimulator, CrossShardPingPongIsExactAndOrdered) {
+  // Two shards volley a packet: each arrival schedules a post back with
+  // deliver_at = now + lookahead.  Checks message counts, window
+  // progression and that every arrival lands at its exact stamped time.
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 2;
+  cfg.lookahead = 0.5;
+  sim::ShardedSimulator sharded(cfg);
+
+  std::vector<Time> arrivals[2];
+  sharded.set_message_handler(
+      [&arrivals](sim::Shard& shard, const sim::CrossShardMsg& m) {
+        shard.sim().schedule_at(m.deliver_at, [&arrivals, &shard, m] {
+          arrivals[shard.index()].push_back(shard.now());
+          if (shard.now() < 5.0) {
+            shard.post(1 - shard.index(), m.packet, m.dest_host,
+                       shard.now() + shard.lookahead());
+          }
+        });
+      });
+  // Kick off: shard 0 posts the first ball at t = 0.5.
+  sharded.shard(0).sim().schedule_at(0.0, [&sharded] {
+    sim::Packet p;
+    p.id = 1;
+    sharded.shard(0).post(1, p, 0, sharded.shard(0).now() + 0.5);
+  });
+  sharded.run(10.0);
+
+  // Ball bounces at 0.5, 1.0, 1.5, ... 5.0; odd bounces land on shard 1.
+  ASSERT_EQ(arrivals[1].size(), 5u);
+  ASSERT_EQ(arrivals[0].size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(arrivals[1][i], 0.5 + 1.0 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(arrivals[0][i], 1.0 + 1.0 * static_cast<double>(i));
+  }
+  EXPECT_EQ(sharded.messages_posted(), 10u);
+  EXPECT_GE(sharded.rounds(), 10u);  // each bounce needs its own window
+}
+
+TEST(ShardedSimulator, DrainedRunAdvancesClocksToHorizon) {
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 1.0;
+  sim::ShardedSimulator sharded(cfg);
+  sharded.set_message_handler([](sim::Shard&, const sim::CrossShardMsg&) {});
+  int fired = 0;
+  sharded.shard(0).sim().schedule_at(1.5, [&fired] { ++fired; });
+  sharded.run(4.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sharded.shard(0).now(), 4.0);
+  EXPECT_DOUBLE_EQ(sharded.shard(1).now(), 4.0);
+}
+
+TEST(ShardedSimulator, EventAtExactHorizonExecutes) {
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 1.0;
+  sim::ShardedSimulator sharded(cfg);
+  sharded.set_message_handler([](sim::Shard&, const sim::CrossShardMsg&) {});
+  int fired = 0;
+  sharded.shard(1).sim().schedule_at(4.0, [&fired] { ++fired; });
+  sharded.shard(1).sim().schedule_at(4.0000001, [&fired] { fired += 100; });
+  sharded.run(4.0);
+  EXPECT_EQ(fired, 1) << "t == until fires, t > until stays pending";
+}
+
+TEST(ShardedSimulator, ModelExceptionPropagatesWithoutDeadlock) {
+  sim::ShardedConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 4;
+  cfg.lookahead = 0.25;
+  sim::ShardedSimulator sharded(cfg);
+  sharded.set_message_handler([](sim::Shard&, const sim::CrossShardMsg&) {});
+  // Keep every shard busy so the throw happens mid-protocol, not at idle.
+  std::atomic<int> ticks{0};
+  for (std::size_t s = 0; s < 4; ++s) {
+    struct Tick {
+      sim::Simulator* sim;
+      std::atomic<int>* ticks;
+      void operator()() const {
+        ++*ticks;
+        sim->schedule_in(0.1, *this);
+      }
+    };
+    sharded.shard(s).sim().schedule_at(
+        0.0, Tick{&sharded.shard(s).sim(), &ticks});
+  }
+  sharded.shard(2).sim().schedule_at(1.0, [] {
+    throw std::runtime_error("model blew up");
+  });
+  EXPECT_THROW(sharded.run(100.0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace emcast

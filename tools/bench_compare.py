@@ -17,11 +17,21 @@ sides report it, falling back to ``real_time`` (lower is better).
 Usage:
     bench_compare.py --current bench_ci.json [--baseline BENCH_pr2.json]
                      [--threshold 0.15] [--tracked REGEX]
+                     [--ab-only] [--ab-suffix Heap]
 
 Without --baseline the newest BENCH_pr<N>.json in the repository root
 (next to this script's parent directory) is used.  Benchmarks present in
 the baseline but missing from the current run are reported as warnings,
 not failures, so retired benchmarks do not wedge CI.
+
+``--ab-only`` switches the gate to the interleaved A/B pairs the bench
+binaries already emit: a benchmark ``BM_X.../arg`` is paired with its
+in-run baseline variant ``BM_X...<suffix>/arg`` (suffix ``Heap`` by
+default, the heap-policy twin of every calendar-queue bench), and the
+gate compares the A/B *speed ratio* of the current run against the A/B
+ratio of the snapshot.  Both sides of a ratio come from the same run on
+the same machine, so a slower or faster CI runner cancels out — the gate
+then measures code deltas, not runner deltas.
 """
 
 from __future__ import annotations
@@ -86,6 +96,71 @@ def newest_snapshot(repo_root):
     return best
 
 
+def speed(metrics):
+    """Higher-is-better scalar for a benchmark's median metrics."""
+    if "items_per_second" in metrics:
+        return metrics["items_per_second"]
+    if "real_time" in metrics and metrics["real_time"] > 0:
+        return 1e9 / metrics["real_time"]
+    return None
+
+
+def ab_pairs(medians, suffix):
+    """Map A-name -> B-name for names whose in-run twin (the same name
+    with ``suffix`` appended to the part before the first '/') exists."""
+    pairs = {}
+    for name in medians:
+        base, sep, arg = name.partition("/")
+        if base.endswith(suffix):
+            continue
+        partner = base + suffix + (sep + arg if sep else "")
+        if partner in medians:
+            pairs[name] = partner
+    return pairs
+
+
+def compare_ab(current, baseline, threshold, tracked=None, suffix="Heap"):
+    """A/B-ratio gate: (failures, lines), immune to runner-speed deltas.
+
+    For each tracked pair, ratio = (A/B speed of current run) divided by
+    (A/B speed of baseline run); < 1 - threshold fails.  Pairs missing
+    from either run warn instead of failing, like compare().
+    """
+    pattern = re.compile(tracked) if tracked else None
+    base_pairs = ab_pairs(baseline, suffix)
+    failures = []
+    lines = []
+    compared = 0
+    for name in sorted(base_pairs):
+        if pattern is not None and not pattern.search(name):
+            continue
+        partner = base_pairs[name]
+        if name not in current or partner not in current:
+            lines.append(f"WARNING  {name} vs {partner}: missing from "
+                         "current run")
+            continue
+        speeds = [speed(side[n])
+                  for side in (baseline, current) for n in (name, partner)]
+        if any(s is None or s <= 0 for s in speeds):
+            lines.append(f"WARNING  {name} vs {partner}: no usable metric")
+            continue
+        base_ratio = speeds[0] / speeds[1]
+        cur_ratio = speeds[2] / speeds[3]
+        ratio = cur_ratio / base_ratio
+        regressed = ratio < 1.0 - threshold
+        compared += 1
+        verdict = "FAIL" if regressed else "ok"
+        lines.append(
+            f"{verdict:8s} {name} / {partner}: A/B "
+            f"{base_ratio:.3f} -> {cur_ratio:.3f}  ({(ratio - 1) * 100:+.1f}%)")
+        if regressed:
+            failures.append(name)
+    if compared == 0:
+        raise BenchCompareError(
+            f"no comparable A/B pairs (suffix {suffix!r}) between the files")
+    return failures, lines
+
+
 def compare(current, baseline, threshold, tracked=None):
     """Return (failures, lines): regression descriptions and a report."""
     pattern = re.compile(tracked) if tracked else None
@@ -139,14 +214,24 @@ def main(argv=None):
     parser.add_argument("--tracked", default=None,
                         help="regex of benchmark names to gate "
                              "(default: every name in the baseline)")
+    parser.add_argument("--ab-only", action="store_true",
+                        help="gate in-run A/B pair ratios instead of "
+                             "absolute numbers (runner-speed immune)")
+    parser.add_argument("--ab-suffix", default="Heap",
+                        help="suffix identifying a benchmark's in-run "
+                             "baseline twin (default: Heap)")
     args = parser.parse_args(argv)
 
     try:
         baseline_path = args.baseline or newest_snapshot(args.repo_root)
         current = load_medians(args.current)
         baseline = load_medians(baseline_path)
-        failures, lines = compare(current, baseline, args.threshold,
-                                  args.tracked)
+        if args.ab_only:
+            failures, lines = compare_ab(current, baseline, args.threshold,
+                                         args.tracked, args.ab_suffix)
+        else:
+            failures, lines = compare(current, baseline, args.threshold,
+                                      args.tracked)
     except (BenchCompareError, OSError, json.JSONDecodeError) as err:
         print(f"bench_compare: {err}", file=sys.stderr)
         return 2

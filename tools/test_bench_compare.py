@@ -146,6 +146,81 @@ class BenchCompareTest(unittest.TestCase):
                          bench_json([iteration("BM_B", 1e6, 100.0)]))
         self.assertEqual(self.run_main(cur, base), 2)
 
+    # -- the A/B-ratio gate ------------------------------------------------
+
+    def ab_files(self, base_a, base_b, cur_a, cur_b):
+        base = self.write("base.json", bench_json([
+            iteration("BM_X/1", base_a, 1e9 / base_a),
+            iteration("BM_XHeap/1", base_b, 1e9 / base_b),
+        ]))
+        cur = self.write("cur.json", bench_json([
+            iteration("BM_X/1", cur_a, 1e9 / cur_a),
+            iteration("BM_XHeap/1", cur_b, 1e9 / cur_b),
+        ]))
+        return cur, base
+
+    def test_ab_gate_ignores_uniform_runner_speed_delta(self):
+        # A 3x slower runner scales both sides of the pair: the absolute
+        # gate would fail, the ratio gate must not.
+        cur, base = self.ab_files(3e6, 2e6, 1e6, 0.667e6)
+        self.assertEqual(self.run_main(cur, base), 1)  # absolute gate trips
+        self.assertEqual(self.run_main(cur, base, ["--ab-only"]), 0)
+
+    def test_ab_gate_fails_on_relative_regression(self):
+        # Same machine speed, but the calendar side lost 40% vs its twin.
+        cur, base = self.ab_files(3e6, 2e6, 1.8e6, 2e6)
+        self.assertEqual(self.run_main(cur, base, ["--ab-only"]), 1)
+
+    def test_ab_gate_improvement_passes(self):
+        cur, base = self.ab_files(3e6, 2e6, 6e6, 2e6)
+        self.assertEqual(self.run_main(cur, base, ["--ab-only"]), 0)
+
+    def test_ab_gate_pairs_by_prefix_before_slash(self):
+        # BM_XHeap/1 pairs with BM_X/1; an unpaired name contributes
+        # nothing (and a missing current pair only warns).
+        base = self.write("base.json", bench_json([
+            iteration("BM_X/1", 2e6, 500.0),
+            iteration("BM_XHeap/1", 1e6, 1000.0),
+            iteration("BM_Lonely/1", 1e6, 1000.0),
+        ]))
+        cur = self.write("cur.json", bench_json([
+            iteration("BM_X/1", 2e6, 500.0),
+            iteration("BM_XHeap/1", 1e6, 1000.0),
+            iteration("BM_Lonely/1", 0.1e6, 10000.0),  # would fail if gated
+        ]))
+        self.assertEqual(self.run_main(cur, base, ["--ab-only"]), 0)
+
+    def test_ab_gate_real_time_only_pairs_use_inverse_time(self):
+        base = self.write("base.json", bench_json([
+            iteration("BM_T", real_time=100.0),
+            iteration("BM_THeap", real_time=200.0),
+        ]))
+        # Current: BM_T slowed 2x relative to its twin -> ratio 0.5.
+        cur = self.write("cur.json", bench_json([
+            iteration("BM_T", real_time=400.0),
+            iteration("BM_THeap", real_time=400.0),
+        ]))
+        self.assertEqual(self.run_main(cur, base, ["--ab-only"]), 1)
+
+    def test_ab_gate_without_pairs_is_a_usage_error(self):
+        base = self.write("base.json",
+                          bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        cur = self.write("cur.json",
+                         bench_json([iteration("BM_X/1", 1e6, 100.0)]))
+        self.assertEqual(self.run_main(cur, base, ["--ab-only"]), 2)
+
+    def test_ab_gate_custom_suffix(self):
+        base = self.write("base.json", bench_json([
+            iteration("BM_X/1", 2e6, 500.0),
+            iteration("BM_XRef/1", 1e6, 1000.0),
+        ]))
+        cur = self.write("cur.json", bench_json([
+            iteration("BM_X/1", 1e6, 1000.0),
+            iteration("BM_XRef/1", 1e6, 1000.0),
+        ]))
+        self.assertEqual(
+            self.run_main(cur, base, ["--ab-only", "--ab-suffix", "Ref"]), 1)
+
     # -- snapshot discovery ------------------------------------------------
 
     def test_newest_snapshot_picks_highest_pr(self):
