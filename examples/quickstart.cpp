@@ -5,7 +5,11 @@
 //
 // What it shows:
 //   1. declare (σ, ρ) flow specs,
-//   2. stand up an AdaptiveHost (K regulators + general MUX),
+//   2. stand up an AdaptiveHost (K regulators + general MUX) against a
+//      sim::SimContext — the engine-agnostic kernel handle every
+//      component takes (a plain Simulator converts implicitly; the same
+//      component code also runs inside one shard of a sharded engine,
+//      see docs/engine.md and examples/sharded_multigroup.cpp),
 //   3. drive it with VBR traffic at a low and a high utilisation,
 //   4. read back the worst-case delay and the model the algorithm chose.
 
@@ -13,7 +17,7 @@
 
 #include "core/adaptive_host.hpp"
 #include "netcalc/threshold.hpp"
-#include "sim/simulator.hpp"
+#include "sim/context.hpp"
 #include "traffic/mpeg_video_source.hpp"
 
 using namespace emcast;
@@ -21,7 +25,10 @@ using namespace emcast;
 namespace {
 
 void run_at_utilization(double utilization) {
+  // One kernel, one context.  Components only ever see the context, so
+  // swapping the backend never touches model code.
   sim::Simulator sim;
+  const sim::SimContext ctx(sim);
 
   // Three 1.5 Mbit/s MPEG video flows, one per multicast group.
   std::vector<std::unique_ptr<traffic::MpegVideoSource>> sources;
@@ -46,17 +53,17 @@ void run_at_utilization(double utilization) {
   cfg.mode = core::ControlMode::Adaptive;  // the paper's algorithm
 
   std::uint64_t delivered = 0;
-  core::AdaptiveHost host(sim, cfg, [&](sim::Packet) { ++delivered; });
+  core::AdaptiveHost host(ctx, cfg, [&](sim::Packet) { ++delivered; });
   host.set_warmup(5.0);
 
   for (auto& src : sources) {
-    src->start(sim, [&host](sim::Packet p) { host.offer(std::move(p)); },
+    src->start(ctx, [&host](sim::Packet p) { host.offer(std::move(p)); },
                60.0);
   }
   // Snapshot the controller while traffic still flows (after the sources
   // stop, the measured rate decays and the controller reverts).
   auto model = core::ControlMode::SigmaRho;
-  sim.schedule_at(59.9, [&] { model = host.active_model(); });
+  ctx.schedule_at(59.9, [&] { model = host.active_model(); });
   sim.run(65.0);
 
   std::printf(

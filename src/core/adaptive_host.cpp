@@ -20,15 +20,15 @@ double derive_threshold(const std::vector<traffic::FlowSpec>& flows) {
 
 }  // namespace
 
-AdaptiveHost::AdaptiveHost(sim::Simulator& sim, AdaptiveHostConfig config,
+AdaptiveHost::AdaptiveHost(sim::SimContext ctx, AdaptiveHostConfig config,
                            Sink sink)
-    : sim_(sim),
+    : ctx_(ctx),
       config_(std::move(config)),
       sink_(std::move(sink)),
       threshold_(config_.threshold_utilization > 0.0
                      ? config_.threshold_utilization
                      : derive_threshold(config_.flows)),
-      mux_(sim, config_.capacity,
+      mux_(ctx, config_.capacity,
            [this](sim::Packet p) { on_mux_output(std::move(p)); },
            config_.mux_discipline) {
   if (config_.flows.empty()) {
@@ -41,13 +41,13 @@ AdaptiveHost::AdaptiveHost(sim::Simulator& sim, AdaptiveHostConfig config,
   buckets_.reserve(config_.flows.size());
   for (const auto& f : config_.flows) {
     buckets_.push_back(std::make_unique<TokenBucketRegulator>(
-        sim_, f, [this](sim::Packet p) { mux_.offer(std::move(p)); }));
+        ctx_, f, [this](sim::Packet p) { mux_.offer(std::move(p)); }));
     estimators_.emplace_back(config_.estimator_window);
   }
   auto bank_flows = config_.flows;
   for (auto& f : bank_flows) f.sigma *= config_.lambda_sigma_margin;
   bank_ = std::make_unique<LambdaRegulatorBank>(
-      sim_, std::move(bank_flows), config_.capacity,
+      ctx_, std::move(bank_flows), config_.capacity,
       [this](sim::Packet p) { mux_.offer(std::move(p)); },
       /*max_packet_bits=*/12000.0, config_.lambda_epoch_offset);
   bank_->pause();
@@ -66,7 +66,7 @@ AdaptiveHost::AdaptiveHost(sim::Simulator& sim, AdaptiveHostConfig config,
       break;
     case ControlMode::Adaptive:
       activate(ControlMode::SigmaRho);  // algorithm starts in (σ, ρ) model
-      sim_.schedule_in(control_interval_, [this] { control_tick(); });
+      ctx_.schedule_in(control_interval_, [this] { control_tick(); });
       break;
   }
 }
@@ -82,12 +82,12 @@ void AdaptiveHost::set_warmup(Time t) { tracer_.set_warmup(t); }
 
 void AdaptiveHost::offer(sim::Packet p) {
   const std::size_t i = flow_index(p.flow);
-  p.hop_arrival = sim_.now();
+  p.hop_arrival = ctx_.now();
   // General MUX (Section III): packets of one flow may have priority over
   // another's; the flow's declared class decides who overtakes whom.
   p.priority = static_cast<std::uint8_t>(std::min<std::size_t>(
       config_.flows[i].priority, Mux::kPriorityClasses - 1));
-  estimators_[i].record(sim_.now(), p.size);
+  estimators_[i].record(ctx_.now(), p.size);
   if (active_ == ControlMode::SigmaRhoLambda) {
     bank_->offer(std::move(p));
   } else {
@@ -96,7 +96,7 @@ void AdaptiveHost::offer(sim::Packet p) {
 }
 
 void AdaptiveHost::on_mux_output(sim::Packet p) {
-  tracer_.record_delay(p.flow, sim_.now() - p.hop_arrival, sim_.now());
+  tracer_.record_delay(p.flow, ctx_.now() - p.hop_arrival, ctx_.now());
   ++p.hops;
   sink_(std::move(p));
 }
@@ -123,7 +123,7 @@ void AdaptiveHost::activate(ControlMode m) {
 
 double AdaptiveHost::measured_utilization() const {
   Rate sum = 0;
-  for (const auto& est : estimators_) sum += est.rate_at(sim_.now());
+  for (const auto& est : estimators_) sum += est.rate_at(ctx_.now());
   return sum / config_.capacity;
 }
 
@@ -144,7 +144,7 @@ void AdaptiveHost::control_tick() {
     activate(ControlMode::SigmaRho);
     ++mode_switches_;
   }
-  sim_.schedule_in(control_interval_, [this] { control_tick(); });
+  ctx_.schedule_in(control_interval_, [this] { control_tick(); });
 }
 
 }  // namespace emcast::core

@@ -23,7 +23,7 @@
 #include "core/mux.hpp"
 #include "core/rate_estimator.hpp"
 #include "core/token_bucket_regulator.hpp"
-#include "sim/simulator.hpp"
+#include "sim/context.hpp"
 #include "sim/tracer.hpp"
 #include "traffic/flow_spec.hpp"
 #include "util/types.hpp"
@@ -72,7 +72,11 @@ class AdaptiveHost {
  public:
   using Sink = sim::PacketFn;
 
-  AdaptiveHost(sim::Simulator& sim, AdaptiveHostConfig config, Sink sink);
+  /// `ctx` is the engine-agnostic kernel handle (a plain Simulator
+  /// converts implicitly).  The whole pipeline — regulators, bank, MUX,
+  /// control ticks — schedules only on this kernel, which is what lets a
+  /// sharded experiment own each host's pipeline on exactly one shard.
+  AdaptiveHost(sim::SimContext ctx, AdaptiveHostConfig config, Sink sink);
 
   /// Submit a packet of one of the configured flows.  Records the hop
   /// arrival time for the per-hop delay statistic.
@@ -104,7 +108,7 @@ class AdaptiveHost {
   void activate(ControlMode m);
   std::size_t flow_index(FlowId id) const;
 
-  sim::Simulator& sim_;
+  sim::SimContext ctx_;
   AdaptiveHostConfig config_;
   Sink sink_;
   double threshold_;

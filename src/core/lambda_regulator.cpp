@@ -25,12 +25,12 @@ std::vector<traffic::FlowSpec> priority_ordered(
 }
 }  // namespace
 
-LambdaRegulatorBank::LambdaRegulatorBank(sim::Simulator& sim,
+LambdaRegulatorBank::LambdaRegulatorBank(sim::SimContext ctx,
                                          std::vector<traffic::FlowSpec> flows,
                                          Rate capacity, Sink sink,
                                          Bits max_packet_bits,
                                          Time epoch_offset)
-    : sim_(sim),
+    : ctx_(ctx),
       epoch_offset_(epoch_offset),
       flows_(priority_ordered(std::move(flows))),
       capacity_(capacity),
@@ -82,21 +82,21 @@ std::vector<sim::Packet> LambdaRegulatorBank::drain() {
 void LambdaRegulatorBank::resume() {
   if (running_) return;
   running_ = true;
-  begin_period(sim_.now() + epoch_offset_);
+  begin_period(ctx_.now() + epoch_offset_);
 }
 
 void LambdaRegulatorBank::begin_period(Time start) {
   period_start_ = start;
   current_slot_ = 0;
-  begin_slot(std::max(start, sim_.now()));
+  begin_slot(std::max(start, ctx_.now()));
 }
 
 void LambdaRegulatorBank::begin_slot(Time start) {
   // The slot keeps its full working period even when its start was shifted
   // by a predecessor's overrun; the idle tail absorbs the shift.
   slot_end_ = start + schedule_.slot_length(current_slot_);
-  boundary_event_ = sim_.schedule_at(
-      std::max(slot_end_, sim_.now() + kTinyGuard), [this] {
+  boundary_event_ = ctx_.schedule_at(
+      std::max(slot_end_, ctx_.now() + kTinyGuard), [this] {
         if (!running_) return;
         if (busy_) {
           pending_advance_ = true;  // completion will advance
@@ -111,7 +111,7 @@ void LambdaRegulatorBank::advance() {
   pending_advance_ = false;
   ++current_slot_;
   if (current_slot_ < schedule_.flow_count()) {
-    begin_slot(std::max(sim_.now(),
+    begin_slot(std::max(ctx_.now(),
                         period_start_ + schedule_.slot_offset(current_slot_)));
     return;
   }
@@ -119,8 +119,8 @@ void LambdaRegulatorBank::advance() {
   // guarantees the accumulated overrun shift fits before it; re-anchor in
   // the (theoretically impossible) case it does not.
   Time next = period_start_ + schedule_.period();
-  if (next <= sim_.now()) next = sim_.now() + kTinyGuard;
-  boundary_event_ = sim_.schedule_at(next, [this, next] {
+  if (next <= ctx_.now()) next = ctx_.now() + kTinyGuard;
+  boundary_event_ = ctx_.schedule_at(next, [this, next] {
     if (running_) begin_period(next);
   });
 }
@@ -130,14 +130,14 @@ void LambdaRegulatorBank::serve_current() {
   if (current_slot_ >= schedule_.flow_count()) return;  // idle tail
   auto& q = queues_[current_slot_];
   if (q.empty()) return;
-  const Time now = sim_.now();
+  const Time now = ctx_.now();
   if (now + kTinyGuard >= slot_end_) return;  // slot is over
   const Time tx = q.front()->size / capacity_;
   busy_ = true;
   // Capture the slot index: the completion may land after the boundary
   // fired, so the pop must target the queue that was being served.
   const std::size_t serving = current_slot_;
-  sim_.schedule_in(tx, [this, serving] {
+  ctx_.schedule_in(tx, [this, serving] {
     busy_ = false;
     auto& queue = queues_[serving];
     if (!queue.empty()) {

@@ -20,9 +20,9 @@
 #include <vector>
 
 #include "core/turn_schedule.hpp"
+#include "sim/context.hpp"
 #include "sim/fifo_queue.hpp"
 #include "sim/packet.hpp"
-#include "sim/simulator.hpp"
 #include "traffic/flow_spec.hpp"
 #include "util/types.hpp"
 
@@ -40,7 +40,7 @@ class LambdaRegulatorBank {
   /// offset by tree depth so a packet released in its flow's working
   /// period arrives inside the same working period downstream and rides
   /// the TDMA wave instead of paying a vacation per hop.
-  LambdaRegulatorBank(sim::Simulator& sim,
+  LambdaRegulatorBank(sim::SimContext ctx,
                       std::vector<traffic::FlowSpec> flows, Rate capacity,
                       Sink sink, Bits max_packet_bits = 12000.0,
                       Time epoch_offset = 0.0);
@@ -72,7 +72,7 @@ class LambdaRegulatorBank {
   void advance();
   void serve_current();
 
-  sim::Simulator& sim_;
+  sim::SimContext ctx_;
   Time epoch_offset_ = 0.0;
   std::vector<traffic::FlowSpec> flows_;
   Rate capacity_;

@@ -9,9 +9,9 @@
 
 #include <array>
 
+#include "sim/context.hpp"
 #include "sim/fifo_queue.hpp"
 #include "sim/packet.hpp"
-#include "sim/simulator.hpp"
 #include "util/types.hpp"
 
 namespace emcast::core {
@@ -26,6 +26,21 @@ namespace emcast::core {
 ///                         overtaken even by its own flow's later packets,
 ///                         which is the adversary behind the paper's
 ///                         Dg = Σσ/(1−Σρ) worst case.
+///
+/// Every service decision — class selection, the lowest-occupied test and
+/// the LIFO pick — is deliberately a function of (decision time, queue
+/// content): a packet enqueued at exactly the service-decision instant is
+/// not yet visible to that decision (FifoQueue::has_entry_before /
+/// pop_newest_before; a decision finding only same-instant packets falls
+/// back to priority-FIFO, which converges with the engine where the tied
+/// arrival started service itself).  With
+/// identical packet sizes and a shared capacity C, upstream MUXs emit
+/// back-to-back trains whose arrivals land on the same float-time grid as
+/// local service completions, so such ties are structural, not
+/// measure-zero — and a pick based on raw event order would make the
+/// model's output depend on kernel tie-breaking, which a sharded engine
+/// cannot reproduce (cross-shard arrivals are drain-scheduled).  FIFO
+/// service converges under those ties without any rule.
 enum class MuxDiscipline { PriorityFifo, PriorityLifoLowest };
 
 class Mux {
@@ -33,7 +48,9 @@ class Mux {
   using Sink = sim::PacketFn;
   static constexpr std::size_t kPriorityClasses = 4;
 
-  Mux(sim::Simulator& sim, Rate capacity, Sink sink,
+  /// `ctx` is the engine-agnostic kernel handle (a plain Simulator
+  /// converts implicitly); the MUX schedules only locally through it.
+  Mux(sim::SimContext ctx, Rate capacity, Sink sink,
       MuxDiscipline discipline = MuxDiscipline::PriorityFifo);
 
   /// Submit a packet; service starts immediately when the server is idle
@@ -51,11 +68,14 @@ class Mux {
  private:
   void start_service();
   sim::FifoQueue* highest_nonempty();
-  /// True when `q` is the lowest-priority class with any packets and a
-  /// higher class exists or existed — the class LIFO service applies to.
-  bool is_lowest_occupied(const sim::FifoQueue* q) const;
+  /// Highest-priority class holding a packet enqueued strictly before
+  /// `now` (the decision's visibility rule); null when nothing qualifies.
+  sim::FifoQueue* highest_visible(Time now);
+  /// True when `q` is the lowest-priority class with visible packets —
+  /// the class LIFO service applies to.
+  bool is_lowest_visible(const sim::FifoQueue* q, Time now) const;
 
-  sim::Simulator& sim_;
+  sim::SimContext ctx_;
   Rate capacity_;
   Sink sink_;
   MuxDiscipline discipline_;

@@ -5,17 +5,17 @@
 
 namespace emcast::core {
 
-TokenBucketRegulator::TokenBucketRegulator(sim::Simulator& sim,
+TokenBucketRegulator::TokenBucketRegulator(sim::SimContext ctx,
                                            traffic::FlowSpec spec, Sink sink)
-    : sim_(sim), spec_(spec), sink_(std::move(sink)), tokens_(spec.sigma) {
+    : ctx_(ctx), spec_(spec), sink_(std::move(sink)), tokens_(spec.sigma) {
   if (spec.sigma <= 0 || spec.rho <= 0) {
     throw std::invalid_argument("TokenBucketRegulator: σ and ρ must be > 0");
   }
-  last_refill_ = sim.now();
+  last_refill_ = ctx.now();
 }
 
 void TokenBucketRegulator::refill_to_now() const {
-  const Time now = sim_.now();
+  const Time now = ctx_.now();
   tokens_ = std::min<Bits>(spec_.sigma,
                            tokens_ + spec_.rho * (now - last_refill_));
   last_refill_ = now;
@@ -58,7 +58,7 @@ void TokenBucketRegulator::schedule_release() {
   // floating-point resolution of the clock, leaving now() unchanged and
   // spinning the event loop at a single timestamp.
   const Time wait = std::max(deficit / spec_.rho, 1e-9);
-  pending_release_ = sim_.schedule_in(wait, [this] { try_release(); });
+  pending_release_ = ctx_.schedule_in(wait, [this] { try_release(); });
 }
 
 }  // namespace emcast::core

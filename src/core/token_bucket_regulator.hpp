@@ -4,9 +4,9 @@
 // untouched; excess bursts are buffered and released as tokens accrue, so
 // the output always satisfies R_out ~ (σ, ρ).
 
+#include "sim/context.hpp"
 #include "sim/fifo_queue.hpp"
 #include "sim/packet.hpp"
-#include "sim/simulator.hpp"
 #include "traffic/flow_spec.hpp"
 #include "util/types.hpp"
 
@@ -18,7 +18,7 @@ class TokenBucketRegulator {
 
   /// The bucket starts full (σ tokens) so an initial conformant burst is
   /// not delayed.
-  TokenBucketRegulator(sim::Simulator& sim, traffic::FlowSpec spec, Sink sink);
+  TokenBucketRegulator(sim::SimContext ctx, traffic::FlowSpec spec, Sink sink);
 
   /// Submit a packet; forwarded immediately if conformant, else queued.
   /// A packet larger than the bucket depth σ can never conform and is
@@ -38,7 +38,7 @@ class TokenBucketRegulator {
   void try_release();
   void schedule_release();
 
-  sim::Simulator& sim_;
+  sim::SimContext ctx_;
   traffic::FlowSpec spec_;
   Sink sink_;
   sim::FifoQueue queue_;

@@ -1,0 +1,16 @@
+#include "experiments/delivery_trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace emcast::experiments {
+
+void canonicalize(DeliveryTrace& trace) {
+  std::sort(trace.begin(), trace.end(),
+            [](const DeliveryRecord& a, const DeliveryRecord& b) {
+              return std::tie(a.time_key, a.group, a.packet_id, a.host) <
+                     std::tie(b.time_key, b.group, b.packet_id, b.host);
+            });
+}
+
+}  // namespace emcast::experiments

@@ -1,0 +1,31 @@
+#pragma once
+// Canonical delivery traces — the currency of the differential engine
+// tests.  A delivery is recorded exact to the bit (the order-preserving
+// integer image of its time plus stable payload keys); canonicalize()
+// sorts a trace into an order that is a pure function of the delivery
+// *set*, so traces captured on different engines (single-threaded vs.
+// sharded), different shard counts and different worker-thread counts
+// compare byte-for-byte when — and only when — the model dynamics agree.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::experiments {
+
+/// One delivery: time_key is sim::time_key(delivery time).
+struct DeliveryRecord {
+  std::uint64_t time_key = 0;
+  std::uint64_t packet_id = 0;
+  std::int32_t group = -1;
+  std::int32_t host = -1;
+  bool operator==(const DeliveryRecord&) const = default;
+};
+
+using DeliveryTrace = std::vector<DeliveryRecord>;
+
+/// Sort into the canonical (time_key, group, packet_id, host) order.
+void canonicalize(DeliveryTrace& trace);
+
+}  // namespace emcast::experiments

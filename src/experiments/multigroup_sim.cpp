@@ -7,8 +7,9 @@
 #include <mutex>
 
 #include "core/mux.hpp"
+#include "sim/context.hpp"
 #include "sim/loss_model.hpp"
-#include "sim/simulator.hpp"
+#include "sim/pending_entry.hpp"
 #include "sim/tracer.hpp"
 #include "topology/backbone.hpp"
 
@@ -72,6 +73,27 @@ overlay::MultiGroupNetwork build_trees(const MultiGroupSimConfig& config) {
 
 }  // namespace
 
+ShardedMultigroupEngine sharded_engine_config(
+    const overlay::MultiGroupNetwork& mg, std::size_t shards,
+    std::size_t threads, std::size_t mailbox_capacity, Time fwd_overhead) {
+  ShardedMultigroupEngine setup;
+  topology::HostPartition partition =
+      overlay::derive_partition(mg, std::max<std::size_t>(1, shards));
+  const overlay::PartitionStats pstats =
+      overlay::evaluate_partition(mg, partition.shard_of);
+  setup.engine.kind = sim::EngineKind::Sharded;
+  setup.engine.shards = std::max<std::size_t>(1, shards);
+  setup.engine.threads = threads;
+  setup.engine.mailbox_capacity = mailbox_capacity;
+  setup.engine.lookahead =
+      fwd_overhead +
+      (pstats.cross_edges != 0 ? pstats.min_cross_delay : 0.0);
+  setup.engine.shard_of = std::move(partition.shard_of);
+  setup.cross_edges = pstats.cross_edges;
+  setup.total_edges = pstats.total_edges;
+  return setup;
+}
+
 TreeStructureResult evaluate_trees(const MultiGroupSimConfig& config) {
   const auto mg = build_trees(config);
   TreeStructureResult r;
@@ -88,7 +110,6 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
   const auto mg = build_trees(config);
   const std::size_t n = mg.host_count();
 
-  sim::Simulator sim;
   ScenarioConfig sc;
   sc.kind = config.kind;
   sc.flows = config.groups;
@@ -98,7 +119,31 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
   Scenario scenario = make_scenario(sc);
   const Rate capacity = scenario.capacity_for(config.utilization);
 
-  sim::DelayTracer tracer(config.warmup);
+  // ---- engine selection ---------------------------------------------------
+  // The model below is written once against sim::SimContext; this block is
+  // the only place the backend choice appears.
+  MultiGroupSimResult r;
+  sim::EngineConfig ec;
+  if (config.engine == sim::EngineKind::Sharded) {
+    ShardedMultigroupEngine setup = sharded_engine_config(
+        mg, config.shards, config.threads, config.mailbox_capacity,
+        config.fwd_overhead);
+    ec = std::move(setup.engine);
+    r.cross_edges = setup.cross_edges;
+    r.total_edges = setup.total_edges;
+    r.lookahead = ec.lookahead;
+  }
+  sim::Engine engine(ec);
+
+  // Per-shard measurement state: each shard's worker records into its own
+  // slot (no cross-thread traffic); merged after the run.
+  struct ShardState {
+    sim::DelayTracer tracer;
+    DeliveryTrace trace;
+    std::uint64_t losses = 0;
+  };
+  std::vector<ShardState> shard_state(engine.shard_count());
+  for (auto& s : shard_state) s.tracer.set_warmup(config.warmup);
 
   // Mean per-hop latency for the TDMA depth stagger: app-layer forwarding
   // plus the average underlay propagation of the tree edges.
@@ -119,7 +164,9 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
 
   // Per-host forwarding pipeline: an AdaptiveHost (regulated schemes) or a
   // bare work-conserving MUX (capacity-aware).  Only hosts that forward in
-  // at least one tree need one.
+  // at least one tree need one.  Each pipeline is built against the
+  // context of the shard owning the host, so all of its events —
+  // regulators, bank slots, MUX service, control ticks — are shard-local.
   struct HostCtx {
     std::unique_ptr<core::AdaptiveHost> regulated;
     std::unique_ptr<core::Mux> plain;  ///< capacity-aware shared uplink
@@ -148,8 +195,8 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
 
   // Failure injection: one bursty loss process per receiving member (the
   // access path is where loss happens), shared across its incoming edges.
+  // Host-local state, so it lives on the owning shard's timeline.
   std::vector<std::unique_ptr<sim::LossModel>> loss(n);
-  std::uint64_t losses = 0;
   if (config.loss_rate > 0.0) {
     for (std::size_t h = 0; h < n; ++h) {
       loss[h] = std::make_unique<sim::GilbertElliottLoss>(
@@ -158,19 +205,21 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
     }
   }
 
-  // deliver() runs when a packet copy arrives at a member: record the
-  // end-to-end delay and forward onwards if the member has children.
-  std::function<void(std::size_t, sim::Packet)> deliver;
+  // forward() replicates a packet leaving host h's pipeline towards its
+  // children; the handoff itself is location-transparent: deliver()
+  // schedules locally when the child shares h's kernel and rides the
+  // cross-shard mailbox otherwise.
   auto forward = [&](std::size_t h, sim::Packet p) {
-    const auto& tree = mg.tree(p.group);
-    const auto& children = tree.children(h);
+    const sim::SimContext ctx =
+        engine.context_for_host(static_cast<HostId>(h));
+    const auto& children = mg.tree(p.group).children(h);
     if (capacity_aware) {
       // One copy per child through the shared uplink MUX; the sink routes
       // each copy by its dest field.
       for (std::size_t child : children) {
         sim::Packet copy = p;
         copy.dest = static_cast<std::int32_t>(child);
-        copy.hop_arrival = sim.now();
+        copy.hop_arrival = ctx.now();
         hosts[h].plain->offer(std::move(copy));
       }
       return;
@@ -180,34 +229,43 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
       const Time replication = static_cast<double>(j) * p.size / capacity;
       const Time overhead = config.fwd_overhead + p.size / config.fwd_cpu_rate;
       const Time prop = mg.member_delay(h, child);
-      sim.schedule_in(replication + overhead + prop,
-                      [&deliver, child, p]() mutable {
-                        deliver(child, std::move(p));
-                      });
+      ctx.deliver(static_cast<HostId>(child), p,
+                  ctx.now() + (replication + overhead + prop));
     }
   };
-  deliver = [&](std::size_t h, sim::Packet p) {
+  // The engine's delivery handler runs at the arrival time on the kernel
+  // owning the destination: record the end-to-end delay and forward
+  // onwards if the member has children.
+  engine.set_deliver([&](sim::SimContext ctx, HostId host,
+                         const sim::Packet& p) {
+    ShardState& ss = shard_state[ctx.shard_index()];
+    const auto h = static_cast<std::size_t>(host);
     if (loss[h] && loss[h]->drop()) {
-      ++losses;  // the copy (and its would-be subtree) is lost
+      ++ss.losses;  // the copy (and its would-be subtree) is lost
       return;
     }
-    tracer.record(p, sim.now());
-    if (!mg.tree(p.group).children(h).empty()) {
-      hosts[h].offer(std::move(p), sim.now());
+    ss.tracer.record(p, ctx.now());
+    if (config.collect_trace) {
+      ss.trace.push_back(
+          DeliveryRecord{sim::time_key(ctx.now()), p.id, p.group, host});
     }
-  };
+    if (!mg.tree(p.group).children(h).empty()) {
+      hosts[h].offer(p, ctx.now());
+    }
+  });
   // Uplink sink for capacity-aware hosts: the copy has left the shared
   // uplink; pay the app-layer overhead and underlay propagation, then
   // deliver to its target child.
-  auto uplink_sink = [&](std::size_t h) {
-    return [&, h](sim::Packet p) {
+  auto uplink_sink = [&engine, &config, &mg](std::size_t h) {
+    return [&engine, &config, &mg, h](sim::Packet p) {
+      const sim::SimContext ctx =
+          engine.context_for_host(static_cast<HostId>(h));
       const auto child = static_cast<std::size_t>(p.dest);
       const Time overhead = config.fwd_overhead + p.size / config.fwd_cpu_rate;
       const Time prop = mg.member_delay(h, child);
-      sim.schedule_in(overhead + prop, [&deliver, child, p]() mutable {
-        p.dest = -1;
-        deliver(child, std::move(p));
-      });
+      p.dest = -1;
+      ctx.deliver(static_cast<HostId>(child), p,
+                  ctx.now() + (overhead + prop));
     };
   };
 
@@ -227,6 +285,8 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
       }
     }
     if (!forwards) continue;
+    const sim::SimContext host_ctx =
+        engine.context_for_host(static_cast<HostId>(h));
     auto sink = [&forward, h](sim::Packet p) { forward(h, std::move(p)); };
     if (capacity_aware) {
       // Plain FIFO uplink at C_host — capacity-aware trees rely on degree
@@ -250,7 +310,8 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
           std::clamp(config.utilization + 0.04, 0.60, 0.99);
       const Rate uplink = std::max(capacity * host_capacity_factor,
                                    carried / target_util);
-      hosts[h].plain = std::make_unique<core::Mux>(sim, uplink, uplink_sink(h));
+      hosts[h].plain =
+          std::make_unique<core::Mux>(host_ctx, uplink, uplink_sink(h));
       hosts[h].to_forwarder = sink;
     } else {
       core::AdaptiveHostConfig hc;
@@ -273,31 +334,43 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
       const double depth = depth_cnt ? depth_sum / depth_cnt : 0.0;
       hc.lambda_epoch_offset = depth * mean_hop_latency;
       hosts[h].regulated =
-          std::make_unique<core::AdaptiveHost>(sim, hc, sink);
+          std::make_unique<core::AdaptiveHost>(host_ctx, hc, sink);
       hosts[h].regulated->set_warmup(config.warmup);
     }
   }
 
-  // Sources inject into their group's root pipeline.
+  // Sources inject into their group's root pipeline (on the root's shard).
   for (int g = 0; g < mg.groups(); ++g) {
     const std::size_t src_host = mg.source(g);
+    const sim::SimContext src_ctx =
+        engine.context_for_host(static_cast<HostId>(src_host));
     scenario.sources[static_cast<std::size_t>(g)]->start(
-        sim,
-        [&hosts, &mg, src_host, &sim](sim::Packet p) {
+        src_ctx,
+        [&hosts, &mg, src_host, src_ctx](sim::Packet p) {
           if (!mg.tree(p.group).children(src_host).empty()) {
-            hosts[src_host].offer(std::move(p), sim.now());
+            hosts[src_host].offer(std::move(p), src_ctx.now());
           }
         },
         config.duration);
   }
 
-  sim.run(config.duration + 3.0);
+  engine.run(config.duration + 3.0);
 
-  MultiGroupSimResult r;
+  sim::DelayTracer merged(config.warmup);
+  std::uint64_t losses = 0;
+  for (auto& s : shard_state) {
+    merged.merge(s.tracer);
+    losses += s.losses;
+    if (config.collect_trace) {
+      r.trace.insert(r.trace.end(), s.trace.begin(), s.trace.end());
+    }
+  }
+  if (config.collect_trace) canonicalize(r.trace);
+
   r.utilization = config.utilization;
-  r.worst_case_delay = tracer.worst_case();
-  r.mean_delay = tracer.all().mean();
-  r.deliveries = tracer.all().count();
+  r.worst_case_delay = merged.worst_case();
+  r.mean_delay = merged.all().mean();
+  r.deliveries = merged.all().count();
   r.losses = losses;
   const double attempts = static_cast<double>(r.deliveries + r.losses);
   r.delivery_ratio = attempts > 0
@@ -310,6 +383,11 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
   for (const auto& h : hosts) {
     if (h.regulated) r.mode_switches += h.regulated->mode_switches();
   }
+  r.shards = engine.shard_count();
+  r.threads = engine.thread_count();
+  r.rounds = engine.rounds();
+  r.messages = engine.messages_posted();
+  r.messages_spilled = engine.messages_spilled();
   return r;
 }
 

@@ -13,8 +13,10 @@
 #include <cstdint>
 
 #include "core/adaptive_host.hpp"
+#include "experiments/delivery_trace.hpp"
 #include "experiments/scenarios.hpp"
 #include "overlay/multigroup.hpp"
+#include "sim/context.hpp"
 #include "topology/host_attachment.hpp"
 #include "util/types.hpp"
 
@@ -57,6 +59,19 @@ struct MultiGroupSimConfig {
   /// `loss_burst` mean consecutive drops, independently per overlay edge.
   double loss_rate = 0.0;
   double loss_burst = 3.0;
+
+  /// Which kernel runs the model.  The model is written against
+  /// sim::SimContext, so the choice is purely a scale knob: Sharded
+  /// partitions the hosts along attachment domains (weighted by
+  /// forwarding fan-out), owns each host's AdaptiveHost/MUX pipeline on
+  /// exactly one shard, and produces byte-identical canonical traces to
+  /// Single for every shard and worker-thread count (the regulated
+  /// differential suite pins this).
+  sim::EngineKind engine = sim::EngineKind::Single;
+  std::size_t shards = 1;        ///< Sharded: model partitions
+  std::size_t threads = 0;       ///< Sharded: workers; 0 = auto
+  std::size_t mailbox_capacity = 4096;
+  bool collect_trace = false;    ///< record every delivery (tests)
 };
 
 struct MultiGroupSimResult {
@@ -70,6 +85,18 @@ struct MultiGroupSimResult {
   int max_layers = 0;           ///< max hierarchy layers over the K trees
   int max_height_hops = 0;      ///< max tree height in hops
   std::uint64_t mode_switches = 0;  ///< Σ over hosts (Adaptive only)
+
+  // Sharding telemetry (defaults when engine == Single).
+  std::size_t shards = 1;
+  std::size_t threads = 1;
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;        ///< cross-shard packets staged
+  std::uint64_t messages_spilled = 0;
+  std::size_t cross_edges = 0;
+  std::size_t total_edges = 0;
+  Time lookahead = 0;
+  /// Canonical delivery trace; empty unless collect_trace.
+  DeliveryTrace trace;
 };
 
 MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config);
@@ -78,6 +105,27 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config);
 /// (thread-safe; keyed by host count and seed).
 const topology::AttachedNetwork& default_network(std::size_t hosts = 665,
                                                  std::uint64_t seed = 42);
+
+/// Sharded-engine setup shared by the multigroup experiments: derive the
+/// attachment-domain partition for a built overlay (weighted by
+/// forwarding fan-out), evaluate it, and fill a sim::EngineConfig with
+/// the conservative lookahead
+///
+///   fwd_overhead + min cross-shard edge propagation.
+///
+/// The bound survives MUX/uplink serialisation because cross-shard posts
+/// are issued at the *exit* of a host's output stage: queueing is paid
+/// before the post, and replication / per-packet copy offsets only add
+/// to the handoff delay (float addition is monotone), so every arrival
+/// satisfies deliver_at >= post time + lookahead.
+struct ShardedMultigroupEngine {
+  sim::EngineConfig engine;
+  std::size_t cross_edges = 0;
+  std::size_t total_edges = 0;
+};
+ShardedMultigroupEngine sharded_engine_config(
+    const overlay::MultiGroupNetwork& mg, std::size_t shards,
+    std::size_t threads, std::size_t mailbox_capacity, Time fwd_overhead);
 
 /// Tree-structure-only evaluation (Tables I–III): build the K trees for a
 /// scheme at a given ρ̄ and report layer counts without running traffic.

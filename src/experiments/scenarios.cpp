@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "sim/simulator.hpp"
+#include "sim/context.hpp"
 #include "traffic/envelope.hpp"
 #include "traffic/mpeg_video_source.hpp"
 #include "traffic/onoff_audio_source.hpp"
@@ -54,11 +54,12 @@ std::unique_ptr<traffic::Source> make_source(const ScenarioConfig& config,
 /// given regulator rate (plus a hair of slack for float comparisons).
 Bits calibrate_sigma(const ScenarioConfig& config, int i, Rate rho_reg) {
   sim::Simulator sim;
+  const sim::SimContext ctx(sim);
   traffic::EnvelopeEstimator estimator;
   auto probe = make_source(config, i);
   probe->start(
-      sim,
-      [&estimator, &sim](sim::Packet p) { estimator.record(sim.now(), p.size); },
+      ctx,
+      [&estimator, ctx](sim::Packet p) { estimator.record(ctx.now(), p.size); },
       config.envelope_calibration);
   sim.run(config.envelope_calibration + 1.0);
   return estimator.sigma_for_rho(rho_reg) * 1.001 + 1.0;

@@ -10,8 +10,8 @@
 
 #include "experiments/multigroup_sim.hpp"
 #include "overlay/multigroup.hpp"
+#include "sim/context.hpp"
 #include "sim/pending_entry.hpp"
-#include "sim/sharded_simulator.hpp"
 #include "sim/tracer.hpp"
 
 namespace emcast::experiments {
@@ -44,45 +44,39 @@ const overlay::MultiGroupNetwork& cached_multigroup(
   return *slot;
 }
 
-struct Model;
-
-/// Per-shard execution context (single-threaded mode uses exactly one).
-/// Tracing and delivery counting are shard-local: no cross-thread state.
+/// Per-shard measurement state (indexed by SimContext::shard_index, so
+/// each worker thread touches only its own slot).
 struct ShardCtx {
-  Model* model = nullptr;
-  sim::Simulator* sim = nullptr;
-  sim::Shard* shard = nullptr;  ///< null in single-threaded mode
-  std::size_t index = 0;
   sim::DelayTracer tracer;
-  std::vector<ShardedDeliveryRecord> trace;
+  DeliveryTrace trace;
   std::uint64_t delivered = 0;
 };
 
-/// Model state shared across shards.  `busy` is written only by the shard
-/// owning the host (hosts never change shards), so there is no data race
-/// despite the single flat vector.
+/// Model state.  `busy` is written only by the shard owning the host
+/// (hosts never change shards), so there is no data race despite the
+/// single flat vector.
 struct Model {
   const overlay::MultiGroupNetwork* mg = nullptr;
-  const std::uint32_t* shard_of = nullptr;  ///< null => everything shard 0
   Time fwd_overhead = 0;
   Rate fwd_cpu_rate = 0;
   bool collect_trace = false;
   std::vector<Rate> uplink;  ///< per-host uplink capacity
   std::vector<Time> busy;    ///< per-host uplink-free time
-  std::vector<std::unique_ptr<ShardCtx>> ctx;
+  std::vector<ShardCtx> ctx;
 };
-
-void deliver(ShardCtx& ctx, std::size_t host, const sim::Packet& p);
 
 /// Replicate `p` from `host` to its children in p.group's tree.  Copies
 /// serialise through the host's uplink; each hop pays the forwarding
-/// overhead, the per-bit copy cost and the underlay propagation.
-void forward(ShardCtx& ctx, std::size_t host, const sim::Packet& p) {
-  Model& model = *ctx.model;
+/// overhead, the per-bit copy cost and the underlay propagation.  The
+/// handoff itself is a single location-transparent deliver(): the engine
+/// schedules locally when the child shares this kernel and stages the
+/// packet in the cross-shard mailbox otherwise.
+void forward(Model& model, sim::SimContext ctx, std::size_t host,
+             const sim::Packet& p) {
   const auto& tree = model.mg->tree(p.group);
   const auto& children = tree.children(host);
   if (children.empty()) return;
-  const Time now = ctx.sim->now();
+  const Time now = ctx.now();
   Time& busy = model.busy[host];
   const Rate uplink = model.uplink[host];
   for (const std::size_t child : children) {
@@ -97,29 +91,8 @@ void forward(ShardCtx& ctx, std::size_t host, const sim::Packet& p) {
     sim::Packet copy = p;
     ++copy.hops;
     copy.hop_arrival = arrival;
-    const std::uint32_t dest =
-        model.shard_of != nullptr ? model.shard_of[child] : 0;
-    if (ctx.shard == nullptr || dest == ctx.index) {
-      ShardCtx& dest_ctx = ctx;  // same shard: the local kernel delivers
-      ctx.sim->schedule_at(
-          arrival, [c = &dest_ctx, child, copy] {
-            deliver(*c, child, copy);
-          });
-    } else {
-      ctx.shard->post(dest, copy, static_cast<std::int32_t>(child), arrival);
-    }
+    ctx.deliver(static_cast<HostId>(child), copy, arrival);
   }
-}
-
-void deliver(ShardCtx& ctx, std::size_t host, const sim::Packet& p) {
-  const Time now = ctx.sim->now();
-  ++ctx.delivered;
-  ctx.tracer.record(p, now);
-  if (ctx.model->collect_trace) {
-    ctx.trace.push_back(ShardedDeliveryRecord{
-        sim::time_key(now), p.id, p.group, static_cast<std::int32_t>(host)});
-  }
-  forward(ctx, host, p);
 }
 
 }  // namespace
@@ -165,119 +138,71 @@ ShardedMultigroupResult run_sharded_multigroup(
   ShardedMultigroupResult result;
   const Time horizon = config.duration + 3.0;
 
-  auto start_sources = [&](auto&& sim_of_host) {
-    for (int g = 0; g < mg.groups(); ++g) {
-      const std::size_t src_host = mg.source(g);
-      ShardCtx* owner = sim_of_host(src_host);
-      scenario.sources[static_cast<std::size_t>(g)]->start(
-          *owner->sim,
-          [owner, src_host](sim::Packet p) {
-            forward(*owner, src_host, p);
-          },
-          config.duration);
-    }
-  };
-
-  const auto finish = [&](ShardedMultigroupResult& r) {
-    sim::DelayTracer merged(config.warmup);
-    for (auto& c : model.ctx) {
-      merged.merge(c->tracer);
-      r.deliveries += c->delivered;
-      if (config.collect_trace) {
-        r.trace.insert(r.trace.end(), c->trace.begin(), c->trace.end());
-      }
-    }
-    r.worst_case_delay = merged.worst_case();
-    r.mean_delay = merged.all().mean();
-    if (config.collect_trace) {
-      // Canonical order: a pure function of the delivery *set*, so the
-      // sharded and reference traces compare byte-for-byte.
-      std::sort(r.trace.begin(), r.trace.end(),
-                [](const ShardedDeliveryRecord& a,
-                   const ShardedDeliveryRecord& b) {
-                  return std::tie(a.time_key, a.group, a.packet_id, a.host) <
-                         std::tie(b.time_key, b.group, b.packet_id, b.host);
-                });
-    }
-  };
-
-  if (config.single_threaded) {
-    // ---- reference path: one plain kernel, no shard layer at all.
-    sim::Simulator sim;
-    auto ctx = std::make_unique<ShardCtx>();
-    ctx->model = &model;
-    ctx->sim = &sim;
-    ctx->tracer.set_warmup(config.warmup);
-    model.ctx.push_back(std::move(ctx));
-    start_sources([&](std::size_t) { return model.ctx[0].get(); });
-    const auto t0 = std::chrono::steady_clock::now();
-    sim.run(horizon);
-    result.run_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    result.events_executed = sim.events_executed();
-    finish(result);
-    return result;
+  // ---- engine selection: reference kernel or sharded backend ------------
+  sim::EngineConfig ec;
+  if (!config.single_threaded) {
+    ShardedMultigroupEngine setup = sharded_engine_config(
+        mg, config.shards, config.threads, config.mailbox_capacity,
+        config.fwd_overhead);
+    ec = std::move(setup.engine);
+    result.cross_edges = setup.cross_edges;
+    result.total_edges = setup.total_edges;
+    result.lookahead = ec.lookahead;
   }
+  sim::Engine engine(ec);
+  model.ctx.resize(engine.shard_count());
+  for (auto& c : model.ctx) c.tracer.set_warmup(config.warmup);
 
-  // ---- sharded path (shards >= 1; 1 exercises the full machinery with
-  // no cross traffic).
-  const topology::HostPartition partition =
-      overlay::derive_partition(mg, config.shards);
-  const overlay::PartitionStats pstats =
-      overlay::evaluate_partition(mg, partition.shard_of);
-  const Time lookahead =
-      config.fwd_overhead + (pstats.cross_edges != 0
-                                 ? pstats.min_cross_delay
-                                 : 0.0);
-
-  sim::ShardedConfig shc;
-  shc.shards = config.shards;
-  shc.threads = config.threads;
-  shc.lookahead = lookahead;
-  shc.mailbox_capacity = config.mailbox_capacity;
-  sim::ShardedSimulator sharded(shc);
-
-  model.shard_of = partition.shard_of.data();
-  for (std::size_t i = 0; i < sharded.shard_count(); ++i) {
-    auto ctx = std::make_unique<ShardCtx>();
-    ctx->model = &model;
-    ctx->sim = &sharded.shard(i).sim();
-    ctx->shard = &sharded.shard(i);
-    ctx->index = i;
-    ctx->tracer.set_warmup(config.warmup);
-    model.ctx.push_back(std::move(ctx));
-  }
-  sharded.set_message_handler(
-      [&model](sim::Shard& shard, const sim::CrossShardMsg& m) {
-        ShardCtx* c = model.ctx[shard.index()].get();
-        const std::int32_t host = m.dest_host;
-        shard.sim().schedule_at(m.deliver_at,
-                                [c, host, copy = m.packet] {
-                                  deliver(*c, static_cast<std::size_t>(host),
-                                          copy);
-                                });
-      });
-  start_sources([&](std::size_t host) {
-    return model.ctx[partition.shard_of[host]].get();
+  engine.set_deliver([&model](sim::SimContext ctx, HostId host,
+                              const sim::Packet& p) {
+    ShardCtx& c = model.ctx[ctx.shard_index()];
+    const Time now = ctx.now();
+    ++c.delivered;
+    c.tracer.record(p, now);
+    if (model.collect_trace) {
+      c.trace.push_back(DeliveryRecord{sim::time_key(now), p.id, p.group,
+                                       host});
+    }
+    forward(model, ctx, static_cast<std::size_t>(host), p);
   });
 
+  for (int g = 0; g < mg.groups(); ++g) {
+    const std::size_t src_host = mg.source(g);
+    const sim::SimContext src_ctx =
+        engine.context_for_host(static_cast<HostId>(src_host));
+    scenario.sources[static_cast<std::size_t>(g)]->start(
+        src_ctx,
+        [&model, src_ctx, src_host](sim::Packet p) {
+          forward(model, src_ctx, src_host, p);
+        },
+        config.duration);
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  sharded.run(horizon);
+  engine.run(horizon);
   result.run_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  result.events_executed = sharded.events_executed();
-  result.shards = sharded.shard_count();
-  result.threads = sharded.thread_count();
-  result.rounds = sharded.rounds();
-  result.messages = sharded.messages_posted();
-  result.messages_spilled = sharded.messages_spilled();
-  result.cross_edges = pstats.cross_edges;
-  result.total_edges = pstats.total_edges;
-  result.lookahead = lookahead;
-  finish(result);
+  result.events_executed = engine.events_executed();
+  result.shards = engine.shard_count();
+  result.threads = engine.thread_count();
+  result.rounds = engine.rounds();
+  result.messages = engine.messages_posted();
+  result.messages_spilled = engine.messages_spilled();
+
+  sim::DelayTracer merged(config.warmup);
+  for (auto& c : model.ctx) {
+    merged.merge(c.tracer);
+    result.deliveries += c.delivered;
+    if (config.collect_trace) {
+      result.trace.insert(result.trace.end(), c.trace.begin(),
+                          c.trace.end());
+    }
+  }
+  result.worst_case_delay = merged.worst_case();
+  result.mean_delay = merged.all().mean();
+  if (config.collect_trace) canonicalize(result.trace);
   return result;
 }
 

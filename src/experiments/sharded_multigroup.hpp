@@ -6,7 +6,9 @@
 // max(now, uplink-free) + size/C) and each hop pays the app-layer
 // forwarding overhead plus the underlay propagation delay.
 //
-// The same model runs two ways:
+// The model is written once against sim::SimContext (every handoff is a
+// single location-transparent deliver()) and runs on either backend of a
+// sim::Engine:
 //   - single-threaded reference: one Simulator executes everything;
 //   - sharded: hosts are partitioned (attachment domains kept whole,
 //     weighted by forwarding fan-out), each shard simulates its hosts on
@@ -30,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "experiments/delivery_trace.hpp"
 #include "experiments/scenarios.hpp"
 #include "util/types.hpp"
 
@@ -56,15 +59,8 @@ struct ShardedMultigroupConfig {
   std::uint64_t topology_seed = 42;
 };
 
-/// One delivery, exact to the bit: time_key is the order-preserving
-/// integer image of the delivery time.
-struct ShardedDeliveryRecord {
-  std::uint64_t time_key = 0;
-  std::uint64_t packet_id = 0;
-  std::int32_t group = -1;
-  std::int32_t host = -1;
-  bool operator==(const ShardedDeliveryRecord&) const = default;
-};
+/// One delivery, exact to the bit (see experiments/delivery_trace.hpp).
+using ShardedDeliveryRecord = DeliveryRecord;
 
 struct ShardedMultigroupResult {
   Time worst_case_delay = 0;
@@ -83,7 +79,7 @@ struct ShardedMultigroupResult {
   Time lookahead = 0;
   /// Canonical trace, sorted by (time_key, group, packet, host); empty
   /// unless collect_trace.
-  std::vector<ShardedDeliveryRecord> trace;
+  DeliveryTrace trace;
 };
 
 ShardedMultigroupResult run_sharded_multigroup(

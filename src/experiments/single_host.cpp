@@ -1,11 +1,13 @@
 #include "experiments/single_host.hpp"
 
-#include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace emcast::experiments {
 
 SingleHostResult run_single_host(const SingleHostConfig& config) {
+  // One host, one kernel: the bare-Simulator view of the SimContext API.
   sim::Simulator sim;
+  const sim::SimContext ctx(sim);
 
   ScenarioConfig sc;
   sc.kind = config.kind;
@@ -24,11 +26,11 @@ SingleHostResult run_single_host(const SingleHostConfig& config) {
 
   // Packets leaving the MUX reach the sink (the paper's Fig. 3 "sink"
   // node); the delay of interest is recorded inside the host.
-  core::AdaptiveHost host(sim, hc, [](sim::Packet) {});
+  core::AdaptiveHost host(ctx, hc, [](sim::Packet) {});
   host.set_warmup(config.warmup);
 
   for (auto& src : scenario.sources) {
-    src->start(sim, [&host](sim::Packet p) { host.offer(std::move(p)); },
+    src->start(ctx, [&host](sim::Packet p) { host.offer(std::move(p)); },
                config.duration);
   }
 

@@ -1,0 +1,75 @@
+#include "sim/context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emcast::sim {
+
+const char* to_string(EngineKind kind) {
+  return kind == EngineKind::Single ? "single" : "sharded";
+}
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  if (config_.kind == EngineKind::Single) {
+    if (config_.shards > 1) {
+      throw std::invalid_argument("Engine: EngineKind::Single with shards > 1");
+    }
+    // A leftover map would make context_for_host index past the single
+    // backend; everything is local, so drop it rather than honour it.
+    config_.shard_of.clear();
+    single_ = std::make_unique<Simulator>();
+    backends_.push_back(detail::ContextBackend{
+        single_.get(), nullptr, 0, nullptr, 0, &deliver_});
+    return;
+  }
+
+  if (config_.shards > 1 && config_.shard_of.empty()) {
+    throw std::invalid_argument(
+        "Engine: sharded backend with shards > 1 needs a host->shard map");
+  }
+  for (const std::uint32_t s : config_.shard_of) {
+    if (s >= std::max<std::size_t>(1, config_.shards)) {
+      throw std::invalid_argument(
+          "Engine: shard_of entry out of range (>= shards)");
+    }
+  }
+  ShardedConfig shc;
+  shc.shards = config_.shards;
+  shc.threads = config_.threads;
+  shc.lookahead = config_.lookahead;
+  shc.mailbox_capacity = config_.mailbox_capacity;
+  shc.pin_threads = config_.pin_threads;
+  sharded_ = std::make_unique<ShardedSimulator>(shc);
+
+  const std::uint32_t* shard_of =
+      config_.shard_of.empty() ? nullptr : config_.shard_of.data();
+  backends_.reserve(sharded_->shard_count());
+  for (std::size_t i = 0; i < sharded_->shard_count(); ++i) {
+    backends_.push_back(detail::ContextBackend{
+        &sharded_->shard(i).sim(), &sharded_->shard(i),
+        static_cast<std::uint32_t>(i), shard_of, config_.shard_of.size(),
+        &deliver_});
+  }
+  // Cross-shard arrivals: the drain handler only schedules locally (the
+  // ShardMsgHandler contract); the model's DeliverFn then fires at the
+  // stamped arrival time exactly like a local deliver() would.
+  sharded_->set_message_handler(
+      [this](Shard& shard, const CrossShardMsg& m) {
+        const detail::ContextBackend* b = &backends_[shard.index()];
+        b->sim->schedule_at(
+            m.deliver_at, [b, host = m.dest_host, p = m.packet] {
+              (*b->on_deliver)(SimContext(b), host, p);
+            });
+      });
+}
+
+std::uint64_t Engine::run(Time until) {
+  return single_ != nullptr ? single_->run(until) : sharded_->run(until);
+}
+
+std::uint64_t Engine::events_executed() const {
+  return single_ != nullptr ? single_->events_executed()
+                            : sharded_->events_executed();
+}
+
+}  // namespace emcast::sim

@@ -1,0 +1,279 @@
+#pragma once
+// Engine-agnostic simulation API.
+//
+// Components (hosts, regulators, multiplexers, links, traffic sources)
+// talk to the kernel through a `SimContext` — a 16-byte non-owning handle
+// — instead of holding a concrete `Simulator&`.  The same component code
+// then runs unchanged on the single-threaded kernel and inside one shard
+// of a ShardedSimulator: scheduling always targets the *local* kernel (a
+// shard's kernel IS a full BasicSimulator, so schedule_in/at compile to
+// the exact same inlined push with zero extra dispatch), and the one
+// genuinely location-dependent operation — handing a packet to another
+// host — goes through `deliver()`, which resolves the destination:
+//
+//   single-threaded backend:  schedule the model's delivery handler on
+//                             the (only) kernel at the arrival time;
+//   sharded backend, local:   same, on the owning shard's kernel;
+//   sharded backend, remote:  stage the packet in the cross-shard mailbox
+//                             (Shard::post, which asserts the conservative
+//                             lookahead contract deliver_at >= now + L).
+//
+// In every case the registered DeliverFn fires AT the arrival time, as an
+// ordinary event on the kernel that owns the destination host — so model
+// code cannot observe which backend it runs on, and event *times* are
+// computed from the same float operands in the same order on both.  That
+// is the property the differential determinism suites pin (byte-identical
+// canonical traces across engines, shard counts and thread counts).
+//
+// `Engine` is the harness that owns a backend (one Simulator, or a
+// ShardedSimulator plus the host→shard map) and vends SimContexts.  A
+// bare `Simulator&` also converts implicitly to a SimContext — scheduling
+// works, deliver() does not (it needs an Engine with a handler) — so
+// single-kernel call sites (unit tests, calibration probes) need no
+// ceremony.
+//
+// Contracts preserved from the Simulator API:
+//   - zero steady-state allocation: SimContext is two pointers, passed by
+//     value; schedule_in/at forward to the slab-backed kernel unchanged;
+//     deliver()'s event capture (backend*, host, Packet) uses the fat
+//     slot pool exactly like the hand-written sharded models did;
+//   - byte-identical (time, seq) ordering: the handle adds no reordering
+//     of its own — local scheduling order is the call order, cross-shard
+//     drains keep the (deliver_at, source shard, seq) merge order.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/shard.hpp"
+#include "sim/sharded_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace emcast::sim {
+
+class SimContext;
+class Engine;
+
+/// Model-level delivery callback, registered once on the Engine: invoked
+/// at the delivery time, as an event on the kernel owning `host`, with
+/// that kernel's context.  Stored in the Engine (setup-time allocation is
+/// fine); the per-delivery event only captures a pointer to it.
+using DeliverFn = std::function<void(SimContext, HostId, const Packet&)>;
+
+namespace detail {
+
+/// One per kernel: the glue a SimContext dereferences.  Owned by the
+/// Engine, address-stable for the Engine's lifetime.
+struct ContextBackend {
+  Simulator* sim = nullptr;
+  Shard* shard = nullptr;  ///< null on the single-threaded backend
+  std::uint32_t index = 0;
+  /// host → owning backend index; null means every host is local.
+  const std::uint32_t* shard_of = nullptr;
+  std::size_t shard_of_size = 0;
+  const DeliverFn* on_deliver = nullptr;
+};
+
+}  // namespace detail
+
+class SimContext {
+ public:
+  SimContext() = default;
+
+  /// Implicit view of a bare kernel: scheduling works, deliver() does not
+  /// (there is no host map or handler).  This is the migration path for
+  /// single-kernel call sites — components taking SimContext accept a
+  /// plain Simulator unchanged.
+  /*implicit*/ SimContext(Simulator& sim) : sim_(&sim) {}
+
+  bool valid() const { return sim_ != nullptr; }
+
+  Time now() const { return sim_->now(); }
+
+  /// Schedule fn at now()+delay on the local kernel (see
+  /// BasicSimulator::schedule_in for the zero-allocation contract).
+  template <typename F>
+  EventHandle schedule_in(Time delay, F&& fn) const {
+    return sim_->schedule_in(delay, std::forward<F>(fn));
+  }
+
+  /// Schedule fn at absolute local time t >= now().
+  template <typename F>
+  EventHandle schedule_at(Time t, F&& fn) const {
+    return sim_->schedule_at(t, std::forward<F>(fn));
+  }
+
+  /// Cancel a previously scheduled event (idempotent, safe after fire).
+  void cancel(EventHandle& h) const { h.cancel(); }
+
+  /// Request the local kernel's run() to return after the current event.
+  /// (On the sharded backend this stops the owning shard's window run;
+  /// the round protocol completes the window normally.)
+  void stop() const { sim_->stop(); }
+
+  // -- backend introspection ----------------------------------------------
+
+  /// Index of the kernel this context schedules on (0 on the single
+  /// backend).  Models use it to index per-shard state (tracers, traces)
+  /// without any cross-thread sharing.
+  std::size_t shard_index() const {
+    return backend_ != nullptr ? backend_->index : 0;
+  }
+
+  /// True when this context belongs to a sharded backend.
+  bool sharded() const {
+    return backend_ != nullptr && backend_->shard != nullptr;
+  }
+
+  /// The conservative lookahead of the sharded backend (0 when single).
+  Time lookahead() const {
+    return sharded() ? backend_->shard->lookahead() : 0.0;
+  }
+
+  /// Owning backend index of `host` (0 when single / no map).  `host`
+  /// must be covered by the engine's map (see EngineConfig::shard_of).
+  std::size_t owner_of(HostId host) const {
+    if (backend_ == nullptr || backend_->shard_of == nullptr) return 0;
+    assert(static_cast<std::size_t>(host) < backend_->shard_of_size &&
+           "host beyond the engine's shard_of map");
+    return backend_->shard_of[host];
+  }
+
+  /// True when `host`'s events run on this context's kernel.
+  bool local(HostId host) const { return owner_of(host) == shard_index(); }
+
+  /// Location-transparent handoff: at simulated time `at`, the Engine's
+  /// DeliverFn fires with (owning kernel's context, host, p).  Requires an
+  /// Engine-built context.  On the sharded backend a remote destination
+  /// must satisfy the lookahead contract (at >= now + lookahead), which
+  /// Shard::post asserts; a local destination (any destination, on the
+  /// single backend) only needs at >= now.
+  void deliver(HostId host, const Packet& p, Time at) const {
+    const detail::ContextBackend* b = backend_;
+    assert(b != nullptr && b->on_deliver != nullptr &&
+           "SimContext::deliver needs an Engine-built context "
+           "(set_deliver installed)");
+    assert((b->shard_of == nullptr ||
+            static_cast<std::size_t>(host) < b->shard_of_size) &&
+           "deliver: host beyond the engine's shard_of map");
+    const std::uint32_t dest =
+        b->shard_of != nullptr ? b->shard_of[host] : b->index;
+    if (b->shard == nullptr || dest == b->index) {
+      sim_->schedule_at(at, [b, host, p] {
+        (*b->on_deliver)(SimContext(b), host, p);
+      });
+    } else {
+      b->shard->post(dest, p, host, at);
+    }
+  }
+
+  /// Escape hatch to the concrete local kernel (telemetry, tests).
+  Simulator& kernel() const { return *sim_; }
+
+ private:
+  friend class Engine;
+  explicit SimContext(const detail::ContextBackend* b)
+      : sim_(b->sim), backend_(b) {}
+
+  Simulator* sim_ = nullptr;
+  const detail::ContextBackend* backend_ = nullptr;
+};
+
+static_assert(sizeof(SimContext) == 16, "SimContext is a two-pointer handle");
+
+/// Which kernel an Engine stands up.  Purely a performance/scale knob:
+/// models written against SimContext produce byte-identical traces on
+/// both (given the model's event times are tie-free across hosts — see
+/// docs/engine.md).
+enum class EngineKind { Single, Sharded };
+
+const char* to_string(EngineKind kind);
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::Single;
+  /// -- Sharded only -------------------------------------------------------
+  std::size_t shards = 1;
+  /// Worker threads; 0 = min(shards, hardware_concurrency).  Results are
+  /// identical for every value (ShardedSimulator's S-over-T contract).
+  std::size_t threads = 0;
+  /// Conservative lookahead: strict lower bound on the simulated-time
+  /// delay of any cross-shard deliver().  Must be > 0 when sharded.
+  Time lookahead = 0;
+  std::size_t mailbox_capacity = 4096;
+  bool pin_threads = false;
+  /// host → owning shard.  Must cover every HostId the model passes to
+  /// context_for_host / deliver (the multigroup experiments derive one
+  /// entry per host from the overlay partition).  Copied into the
+  /// Engine; entries are range-checked at construction, coverage is
+  /// asserted at the lookup sites.  May be empty when shards == 1
+  /// (everything local).
+  std::vector<std::uint32_t> shard_of;
+};
+
+/// Owns one backend — a single-threaded Simulator or a ShardedSimulator —
+/// plus the delivery routing; vends SimContexts to the model.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  EngineKind kind() const { return config_.kind; }
+  std::size_t shard_count() const { return backends_.size(); }
+  std::size_t thread_count() const {
+    return sharded_ != nullptr ? sharded_->thread_count() : 1;
+  }
+  Time lookahead() const { return config_.lookahead; }
+
+  /// Install the model's delivery handler (before run(); required for any
+  /// SimContext::deliver call).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Context of kernel `shard` (0 on the single backend).
+  SimContext context(std::size_t shard = 0) {
+    return SimContext(&backends_[shard]);
+  }
+
+  /// Context of the kernel owning `host` — components are constructed
+  /// against this, which is what "per-shard component ownership" means.
+  SimContext context_for_host(HostId host) {
+    return context(shard_of_host(host));
+  }
+
+  std::size_t shard_of_host(HostId host) const {
+    if (config_.shard_of.empty()) return 0;
+    assert(static_cast<std::size_t>(host) < config_.shard_of.size() &&
+           "host beyond the engine's shard_of map");
+    return config_.shard_of[static_cast<std::size_t>(host)];
+  }
+
+  /// Advance the backend until it drains or the clock passes `until`
+  /// (events at exactly `until` execute, on both backends).  Returns the
+  /// number of events executed by this call.
+  std::uint64_t run(Time until = kTimeInfinity);
+
+  // -- telemetry (zeros where the single backend has no counterpart) ------
+  std::uint64_t events_executed() const;
+  std::uint64_t rounds() const {
+    return sharded_ != nullptr ? sharded_->rounds() : 0;
+  }
+  std::uint64_t messages_posted() const {
+    return sharded_ != nullptr ? sharded_->messages_posted() : 0;
+  }
+  std::uint64_t messages_spilled() const {
+    return sharded_ != nullptr ? sharded_->messages_spilled() : 0;
+  }
+
+ private:
+  EngineConfig config_;
+  std::unique_ptr<Simulator> single_;
+  std::unique_ptr<ShardedSimulator> sharded_;
+  DeliverFn deliver_;
+  std::vector<detail::ContextBackend> backends_;
+};
+
+}  // namespace emcast::sim

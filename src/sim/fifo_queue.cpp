@@ -5,37 +5,59 @@
 
 namespace emcast::sim {
 
-void FifoQueue::push(Packet p) {
+void FifoQueue::push(Packet p, Time enqueued_at) {
   backlog_bits_ += p.size;
   peak_backlog_bits_ = std::max(peak_backlog_bits_, backlog_bits_);
   ++total_enqueued_;
-  packets_.push_back(std::move(p));
+  entries_.push_back(Entry{std::move(p), enqueued_at});
 }
 
 const Packet* FifoQueue::front() const {
-  return packets_.empty() ? nullptr : &packets_.front();
+  return entries_.empty() ? nullptr : &entries_.front().packet;
+}
+
+void FifoQueue::account_pop(const Packet& p) {
+  backlog_bits_ -= p.size;
+  if (backlog_bits_ < 0) backlog_bits_ = 0;  // guard float drift
 }
 
 Packet FifoQueue::pop() {
-  assert(!packets_.empty());
-  Packet p = std::move(packets_.front());
-  packets_.pop_front();
-  backlog_bits_ -= p.size;
-  if (backlog_bits_ < 0) backlog_bits_ = 0;  // guard float drift
+  assert(!entries_.empty());
+  Packet p = std::move(entries_.front().packet);
+  entries_.pop_front();
+  account_pop(p);
   return p;
 }
 
 Packet FifoQueue::pop_newest() {
-  assert(!packets_.empty());
-  Packet p = std::move(packets_.back());
-  packets_.pop_back();
-  backlog_bits_ -= p.size;
-  if (backlog_bits_ < 0) backlog_bits_ = 0;
+  assert(!entries_.empty());
+  Packet p = std::move(entries_.back().packet);
+  entries_.pop_back();
+  account_pop(p);
   return p;
 }
 
+Packet FifoQueue::pop_newest_before(Time t) {
+  assert(!entries_.empty());
+  // Enqueue stamps are non-decreasing, so the newest qualifying entry is
+  // the last one with stamp < t; entries at (or past) `t` cluster at the
+  // back.  The common case (no tie in flight) is the back entry — a plain
+  // pop_back; only a tie walks inward and pays an erase.
+  if (entries_.back().enqueued_at < t) return pop_newest();
+  for (auto it = std::prev(entries_.end()); it != entries_.begin();) {
+    --it;
+    if (it->enqueued_at < t) {
+      Packet p = std::move(it->packet);
+      entries_.erase(it);
+      account_pop(p);
+      return p;
+    }
+  }
+  return pop();  // everything tied: serve in FIFO order
+}
+
 void FifoQueue::clear() {
-  packets_.clear();
+  entries_.clear();
   backlog_bits_ = 0;
 }
 

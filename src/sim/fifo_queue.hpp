@@ -2,10 +2,14 @@
 // Byte-accounted FIFO of packets.  Used as the backlog store inside
 // regulators and multiplexers.  Tracks the peak backlog, which the tests
 // compare against the σ-based backlog bounds from the paper's lemmas.
+//
+// Entries carry an optional enqueue timestamp so LIFO-style service
+// disciplines can make their pick a pure function of (decision time,
+// queue content) rather than of event interleaving — see
+// pop_newest_before() and core::Mux.  Plain FIFO users ignore the stamp.
 
 #include <cstddef>
 #include <deque>
-#include <optional>
 
 #include "sim/packet.hpp"
 #include "util/types.hpp"
@@ -14,9 +18,11 @@ namespace emcast::sim {
 
 class FifoQueue {
  public:
-  void push(Packet p);
+  /// `enqueued_at` stamps the entry for pop_newest_before(); plain FIFO
+  /// users may omit it.
+  void push(Packet p, Time enqueued_at = 0.0);
 
-  /// Front packet without removing it; nullopt when empty.
+  /// Front packet without removing it; nullptr when empty.
   const Packet* front() const;
 
   /// Remove and return the front packet.  Undefined when empty.
@@ -28,8 +34,33 @@ class FifoQueue {
   /// empty.
   Packet pop_newest();
 
-  bool empty() const { return packets_.empty(); }
-  std::size_t size() const { return packets_.size(); }
+  /// Remove and return the newest packet enqueued strictly *before* `t`;
+  /// when every entry was enqueued at (or after) `t`, fall back to the
+  /// front.  This is the tie-robust LIFO pick: a packet whose arrival
+  /// shares the exact timestamp of the service decision is treated as not
+  /// yet visible, so the choice is identical whether the tied arrival
+  /// event executed before or after the decision event — the property the
+  /// sharded engine's differential determinism relies on (a cross-shard
+  /// arrival cannot reproduce the single-kernel tie order).  Undefined
+  /// when empty.
+  ///
+  /// Residual limitation: if TWO packets from *distinct events* are
+  /// enqueued at the same bit-exact instant, their relative queue order
+  /// still follows event order.  Unlike the structural
+  /// arrival-vs-completion grid tie (one upstream chain, shared C), that
+  /// needs two independent float chains to collide exactly — accepted as
+  /// out of scope; the differential suites pin the structural cases.
+  Packet pop_newest_before(Time t);
+
+  /// True when some entry was enqueued strictly before `t` — the
+  /// "visible backlog" test service decisions at `t` use (stamps are
+  /// non-decreasing, so the front holds the minimum).
+  bool has_entry_before(Time t) const {
+    return !entries_.empty() && entries_.front().enqueued_at < t;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
 
   Bits backlog_bits() const { return backlog_bits_; }
   Bits peak_backlog_bits() const { return peak_backlog_bits_; }
@@ -38,7 +69,13 @@ class FifoQueue {
   void clear();
 
  private:
-  std::deque<Packet> packets_;
+  struct Entry {
+    Packet packet;
+    Time enqueued_at = 0.0;
+  };
+  void account_pop(const Packet& p);
+
+  std::deque<Entry> entries_;
   Bits backlog_bits_ = 0;
   Bits peak_backlog_bits_ = 0;
   std::uint64_t total_enqueued_ = 0;

@@ -6,19 +6,19 @@
 
 namespace emcast::sim {
 
-Link::Link(Simulator& sim, Rate capacity, Time propagation)
-    : sim_(sim), capacity_(capacity), propagation_(propagation) {
+Link::Link(SimContext ctx, Rate capacity, Time propagation)
+    : ctx_(ctx), capacity_(capacity), propagation_(propagation) {
   if (capacity <= 0.0) throw std::invalid_argument("Link: capacity <= 0");
   if (propagation < 0.0) throw std::invalid_argument("Link: propagation < 0");
 }
 
 void Link::send(Packet p, DeliverFn deliver) {
-  const Time start = std::max(sim_.now(), busy_until_);
+  const Time start = std::max(ctx_.now(), busy_until_);
   const Time tx = p.size / capacity_;
   busy_until_ = start + tx;
   ++packets_sent_;
   const Time arrival = busy_until_ + propagation_;
-  sim_.schedule_at(arrival, [p = std::move(p), deliver = std::move(deliver),
+  ctx_.schedule_at(arrival, [p = std::move(p), deliver = std::move(deliver),
                              arrival]() mutable {
     p.hop_arrival = arrival;
     deliver(std::move(p));

@@ -4,8 +4,8 @@
 // the classic store-and-forward model: departure(p) = max(now, link-free
 // time) + size/capacity, arrival = departure + propagation.
 
+#include "sim/context.hpp"
 #include "sim/packet.hpp"
-#include "sim/simulator.hpp"
 #include "util/types.hpp"
 
 namespace emcast::sim {
@@ -16,8 +16,10 @@ class Link {
   /// size contract).
   using DeliverFn = PacketFn;
 
-  /// capacity in bits/s (> 0), propagation in seconds (>= 0).
-  Link(Simulator& sim, Rate capacity, Time propagation);
+  /// capacity in bits/s (> 0), propagation in seconds (>= 0).  `ctx` is
+  /// the engine-agnostic kernel handle (a plain Simulator converts
+  /// implicitly).
+  Link(SimContext ctx, Rate capacity, Time propagation);
 
   /// Queue the packet for transmission; `deliver` runs at arrival time.
   void send(Packet p, DeliverFn deliver);
@@ -31,7 +33,7 @@ class Link {
   std::uint64_t packets_sent() const { return packets_sent_; }
 
  private:
-  Simulator& sim_;
+  SimContext ctx_;
   Rate capacity_;
   Time propagation_;
   Time busy_until_ = 0.0;

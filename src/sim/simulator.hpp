@@ -33,8 +33,11 @@ class BasicSimulator {
   /// into the event queue's slot storage — no temporaries, no allocation.
   template <typename F>
   EventHandle schedule_in(Time delay, F&& fn) {
-    if (delay < 0.0) {
-      throw std::invalid_argument("schedule_in: negative delay");
+    // Negated >= so NaN falls through to the throw: `delay < 0.0` is false
+    // for NaN, which would otherwise poison now_ + delay and corrupt the
+    // pending-set ordering downstream.
+    if (!(delay >= 0.0)) {
+      throw std::invalid_argument("schedule_in: negative or NaN delay");
     }
     return queue_.push(now_ + delay, std::forward<F>(fn));
   }
@@ -42,8 +45,8 @@ class BasicSimulator {
   /// Schedule fn at absolute time t >= now().
   template <typename F>
   EventHandle schedule_at(Time t, F&& fn) {
-    if (t < now_) {
-      throw std::invalid_argument("schedule_at: time in the past");
+    if (!(t >= now_)) {  // rejects NaN as well as times in the past
+      throw std::invalid_argument("schedule_at: time in the past or NaN");
     }
     return queue_.push(t, std::forward<F>(fn));
   }

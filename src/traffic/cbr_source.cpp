@@ -12,22 +12,22 @@ CbrSource::CbrSource(const CbrConfig& config) : config_(config) {
   interval_ = config.packet_size / config.rate;
 }
 
-void CbrSource::start(sim::Simulator& sim, PacketSink sink, Time until) {
+void CbrSource::start(sim::SimContext ctx, PacketSink sink, Time until) {
   sink_ = std::move(sink);
-  sim.schedule_in(config_.phase, [this, &sim, until] { emit(sim, until); });
+  ctx.schedule_in(config_.phase, [this, ctx, until] { emit(ctx, until); });
 }
 
-void CbrSource::emit(sim::Simulator& sim, Time until) {
-  if (sim.now() > until) return;
+void CbrSource::emit(sim::SimContext ctx, Time until) {
+  if (ctx.now() > until) return;
   sim::Packet p;
   p.id = ids_.next();
   p.flow = config_.flow;
   p.group = config_.group;
   p.size = config_.packet_size;
-  p.created = sim.now();
-  p.hop_arrival = sim.now();
+  p.created = ctx.now();
+  p.hop_arrival = ctx.now();
   sink_(std::move(p));
-  sim.schedule_in(interval_, [this, &sim, until] { emit(sim, until); });
+  ctx.schedule_in(interval_, [this, ctx, until] { emit(ctx, until); });
 }
 
 }  // namespace emcast::traffic

@@ -20,12 +20,12 @@ class CbrSource final : public Source {
  public:
   explicit CbrSource(const CbrConfig& config);
 
-  void start(sim::Simulator& sim, PacketSink sink, Time until) override;
+  void start(sim::SimContext ctx, PacketSink sink, Time until) override;
   Rate mean_rate() const override { return config_.rate; }
   Bits nominal_burst() const override { return config_.packet_size; }
 
  private:
-  void emit(sim::Simulator& sim, Time until);
+  void emit(sim::SimContext ctx, Time until);
 
   CbrConfig config_;
   Time interval_;

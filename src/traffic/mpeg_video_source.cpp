@@ -38,17 +38,17 @@ Bits MpegVideoSource::nominal_burst() const {
          config_.packet_size;
 }
 
-void MpegVideoSource::start(sim::Simulator& sim, PacketSink sink, Time until) {
+void MpegVideoSource::start(sim::SimContext ctx, PacketSink sink, Time until) {
   sink_ = std::move(sink);
   // Random GoP phase so concurrent flows do not lock-step their I-frames.
   gop_position_ = static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(kGop.size()) - 1));
   const Time phase = rng_.uniform(0.0, frame_interval_);
-  sim.schedule_in(phase, [this, &sim, until] { emit_frame(sim, until); });
+  ctx.schedule_in(phase, [this, ctx, until] { emit_frame(ctx, until); });
 }
 
-void MpegVideoSource::emit_frame(sim::Simulator& sim, Time until) {
-  if (sim.now() > until) return;
+void MpegVideoSource::emit_frame(sim::SimContext ctx, Time until) {
+  if (ctx.now() > until) return;
   const char type = kGop[gop_position_];
   gop_position_ = (gop_position_ + 1) % kGop.size();
 
@@ -67,13 +67,13 @@ void MpegVideoSource::emit_frame(sim::Simulator& sim, Time until) {
     p.flow = config_.flow;
     p.group = config_.group;
     p.size = std::min(remaining, config_.packet_size);
-    p.created = sim.now();
-    p.hop_arrival = sim.now();
+    p.created = ctx.now();
+    p.hop_arrival = ctx.now();
     remaining -= p.size;
     sink_(std::move(p));
   }
-  sim.schedule_in(frame_interval_, [this, &sim, until] {
-    emit_frame(sim, until);
+  ctx.schedule_in(frame_interval_, [this, ctx, until] {
+    emit_frame(ctx, until);
   });
 }
 

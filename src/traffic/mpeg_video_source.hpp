@@ -36,7 +36,7 @@ class MpegVideoSource final : public Source {
  public:
   explicit MpegVideoSource(const MpegVideoConfig& config);
 
-  void start(sim::Simulator& sim, PacketSink sink, Time until) override;
+  void start(sim::SimContext ctx, PacketSink sink, Time until) override;
   Rate mean_rate() const override { return config_.mean_rate; }
   Bits nominal_burst() const override;
 
@@ -44,7 +44,7 @@ class MpegVideoSource final : public Source {
   Bits mean_frame_size(char type) const;
 
  private:
-  void emit_frame(sim::Simulator& sim, Time until);
+  void emit_frame(sim::SimContext ctx, Time until);
 
   static constexpr std::array<char, 12> kGop = {'I', 'B', 'B', 'P', 'B', 'B',
                                                 'P', 'B', 'B', 'P', 'B', 'B'};

@@ -20,26 +20,26 @@ Bits OnOffAudioSource::nominal_burst() const {
   return spurt_excess + config_.packet_size;
 }
 
-void OnOffAudioSource::start(sim::Simulator& sim, PacketSink sink,
+void OnOffAudioSource::start(sim::SimContext ctx, PacketSink sink,
                              Time until) {
   sink_ = std::move(sink);
   // Random initial silence decorrelates flows sharing a seed base.
   const Time first = rng_.exponential(config_.mean_off);
-  sim.schedule_in(first, [this, &sim, until] { begin_talkspurt(sim, until); });
+  ctx.schedule_in(first, [this, ctx, until] { begin_talkspurt(ctx, until); });
 }
 
-void OnOffAudioSource::begin_talkspurt(sim::Simulator& sim, Time until) {
-  if (sim.now() > until) return;
+void OnOffAudioSource::begin_talkspurt(sim::SimContext ctx, Time until) {
+  if (ctx.now() > until) return;
   // Bounded spurt: uniform in [0.5, 1.5]·mean_on (see header).
   const Time spurt =
       rng_.uniform(0.5 * config_.mean_on, 1.5 * config_.mean_on);
   last_spurt_length_ = spurt;
-  emit(sim, sim.now() + spurt, until);
+  emit(ctx, ctx.now() + spurt, until);
 }
 
-void OnOffAudioSource::emit(sim::Simulator& sim, Time spurt_end, Time until) {
-  if (sim.now() > until) return;
-  if (sim.now() >= spurt_end) {
+void OnOffAudioSource::emit(sim::SimContext ctx, Time spurt_end, Time until) {
+  if (ctx.now() > until) return;
+  if (ctx.now() >= spurt_end) {
     // Silence proportional to the spurt just finished (± duty_jitter):
     // every on/off cycle then has a near-nominal duty cycle, so the
     // long-window rate stays close to the mean and the flow conforms to
@@ -48,8 +48,8 @@ void OnOffAudioSource::emit(sim::Simulator& sim, Time spurt_end, Time until) {
     const Time silence =
         last_spurt_length_ * ratio *
         rng_.uniform(1.0 - config_.duty_jitter, 1.0 + config_.duty_jitter);
-    sim.schedule_in(silence,
-                    [this, &sim, until] { begin_talkspurt(sim, until); });
+    ctx.schedule_in(silence,
+                    [this, ctx, until] { begin_talkspurt(ctx, until); });
     return;
   }
   sim::Packet p;
@@ -57,11 +57,11 @@ void OnOffAudioSource::emit(sim::Simulator& sim, Time spurt_end, Time until) {
   p.flow = config_.flow;
   p.group = config_.group;
   p.size = config_.packet_size;
-  p.created = sim.now();
-  p.hop_arrival = sim.now();
+  p.created = ctx.now();
+  p.hop_arrival = ctx.now();
   sink_(std::move(p));
-  sim.schedule_in(packet_interval_, [this, &sim, spurt_end, until] {
-    emit(sim, spurt_end, until);
+  ctx.schedule_in(packet_interval_, [this, ctx, spurt_end, until] {
+    emit(ctx, spurt_end, until);
   });
 }
 

@@ -34,15 +34,15 @@ class OnOffAudioSource final : public Source {
  public:
   explicit OnOffAudioSource(const OnOffAudioConfig& config);
 
-  void start(sim::Simulator& sim, PacketSink sink, Time until) override;
+  void start(sim::SimContext ctx, PacketSink sink, Time until) override;
   Rate mean_rate() const override { return config_.mean_rate; }
   Bits nominal_burst() const override;
 
   Rate peak_rate() const { return peak_rate_; }
 
  private:
-  void begin_talkspurt(sim::Simulator& sim, Time until);
-  void emit(sim::Simulator& sim, Time spurt_end, Time until);
+  void begin_talkspurt(sim::SimContext ctx, Time until);
+  void emit(sim::SimContext ctx, Time spurt_end, Time until);
 
   OnOffAudioConfig config_;
   Rate peak_rate_;

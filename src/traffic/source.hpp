@@ -4,8 +4,8 @@
 // burst (e.g. one video frame handed to the network at once) that the
 // downstream regulator/link serialises.
 
+#include "sim/context.hpp"
 #include "sim/packet.hpp"
-#include "sim/simulator.hpp"
 #include "traffic/flow_spec.hpp"
 #include "util/types.hpp"
 
@@ -21,8 +21,11 @@ class Source {
  public:
   virtual ~Source() = default;
 
-  /// Begin emitting into `sink` from sim.now() until `until`.
-  virtual void start(sim::Simulator& sim, PacketSink sink, Time until) = 0;
+  /// Begin emitting into `sink` from ctx.now() until `until`.  `ctx` is
+  /// the engine-agnostic kernel handle (a plain Simulator converts
+  /// implicitly); in a sharded simulation it is the context of the shard
+  /// owning the source's host, so all emission events stay shard-local.
+  virtual void start(sim::SimContext ctx, PacketSink sink, Time until) = 0;
 
   /// Long-term average rate ρ of the model [bits/s].
   virtual Rate mean_rate() const = 0;

@@ -81,11 +81,13 @@ TEST(Mux, StarvationOfLowestClassUnderLoad) {
   // The "general MUX" property the paper's bounds rely on: sustained
   // high-priority arrivals starve the low class.
   Harness h(1000.0);
-  // High-priority packets arriving every 0.125 s = exactly capacity
-  // (125 bits at 1 kbit/s; 0.125 is exact in binary so arrival and
-  // service-completion timestamps coincide deterministically).
+  // High-priority packets arriving every 0.12 s, served in 0.125 s — the
+  // stream slightly overloads the server, so a visible high-priority
+  // backlog exists at every service completion.  (Arrivals at *exactly*
+  // the completion instants would hit the tie-visibility rule instead —
+  // see ServiceDecisionExcludesSameInstantArrivals.)
   for (int i = 0; i < 20; ++i) {
-    h.sim.schedule_at(0.125 * i, [&h, i] {
+    h.sim.schedule_at(0.12 * i, [&h, i] {
       h.mux.offer(make_packet(0, 125.0, 0, static_cast<std::uint64_t>(i)));
     });
   }
@@ -96,6 +98,28 @@ TEST(Mux, StarvationOfLowestClassUnderLoad) {
   // The low packet is starved until the high-priority stream dries up.
   EXPECT_EQ(h.out.back().second.id, 99u);
   EXPECT_GT(h.out.back().first, 2.5);
+}
+
+TEST(Mux, ServiceDecisionExcludesSameInstantArrivals) {
+  // The tie-visibility rule (see MuxDiscipline): a packet enqueued at
+  // exactly a service-completion instant is not yet visible to that
+  // decision, so the choice is identical whether the tied arrival event
+  // executed before or after the completion — the property the sharded
+  // engine's cross-engine determinism relies on.  Here the high-priority
+  // arrival at t = 0.125 shares the bit-exact timestamp of the first
+  // completion (0.125 is a binary float), so the backlogged low packet is
+  // chosen and the tied high packet waits one service slot.
+  Harness h(1000.0);
+  h.sim.schedule_at(0.0, [&h] { h.mux.offer(make_packet(0, 125.0, 0, 1)); });
+  h.sim.schedule_at(0.0625,
+                    [&h] { h.mux.offer(make_packet(2, 125.0, 3, 99)); });
+  h.sim.schedule_at(0.125, [&h] { h.mux.offer(make_packet(0, 125.0, 0, 2)); });
+  h.sim.run();
+  ASSERT_EQ(h.out.size(), 3u);
+  EXPECT_EQ(h.out[0].second.id, 1u);
+  EXPECT_EQ(h.out[1].second.id, 99u) << "tied high arrival must not be "
+                                        "visible to the t=0.125 decision";
+  EXPECT_EQ(h.out[2].second.id, 2u);
 }
 
 TEST(Mux, LifoLowestServesNewestOfLowestClass) {

@@ -1,0 +1,156 @@
+// Differential determinism suite for the *regulated* multigroup model —
+// the full paper pipeline (AdaptiveHost: token buckets / (σ,ρ,λ) bank /
+// general MUX, per-host loss processes, replication serialisation) run
+// through the engine-agnostic SimContext API on both backends.
+//
+// Contract: run_multigroup with EngineKind::Sharded produces a canonical
+// delivery trace byte-identical to EngineKind::Single, for every shard
+// count, every worker-thread count, and all three traffic scenarios.
+// The suite name matches the ShardedSim* concurrency filter, so these
+// runs are also exercised under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include "experiments/multigroup_sim.hpp"
+#include "experiments/sweep.hpp"
+
+namespace emcast::experiments {
+namespace {
+
+MultiGroupSimConfig base_config(TrafficKind kind, RegulationScheme reg) {
+  MultiGroupSimConfig c;
+  c.kind = kind;
+  c.family = TreeFamily::Dsct;
+  c.regulation = reg;
+  c.utilization = 0.6;
+  c.hosts = 96;
+  c.duration = 1.5;
+  c.warmup = 0.25;
+  c.seed = 7;
+  c.collect_trace = true;
+  return c;
+}
+
+MultiGroupSimResult run_reference(MultiGroupSimConfig c) {
+  c.engine = sim::EngineKind::Single;
+  c.shards = 1;
+  return run_multigroup(c);
+}
+
+MultiGroupSimResult run_sharded(MultiGroupSimConfig c, std::size_t shards,
+                                std::size_t threads = 0) {
+  c.engine = sim::EngineKind::Sharded;
+  c.shards = shards;
+  c.threads = threads;
+  return run_multigroup(c);
+}
+
+TEST(ShardedSimRegulated, ReferenceProducesTraffic) {
+  const auto ref =
+      run_reference(base_config(TrafficKind::Audio, RegulationScheme::SigmaRho));
+  EXPECT_GT(ref.deliveries, 1000u);
+  EXPECT_EQ(ref.shards, 1u);
+  EXPECT_GT(ref.trace.size(), ref.deliveries)
+      << "trace includes warm-up deliveries, the tracer count excludes them";
+  EXPECT_GT(ref.worst_case_delay, 0.0);
+}
+
+TEST(ShardedSimRegulated, ShardCountsProduceByteIdenticalTraces) {
+  const auto cfg = base_config(TrafficKind::Audio, RegulationScheme::SigmaRho);
+  const auto ref = run_reference(cfg);
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    const auto sharded = run_sharded(cfg, shards);
+    EXPECT_EQ(sharded.deliveries, ref.deliveries) << shards << " shards";
+    // max is order-independent: bit-equal, not just approximately equal.
+    EXPECT_EQ(sharded.worst_case_delay, ref.worst_case_delay)
+        << shards << " shards";
+    ASSERT_TRUE(sharded.trace == ref.trace)
+        << shards << " shards: canonical delivery traces differ";
+    if (shards > 1) {
+      EXPECT_GT(sharded.messages, 0u) << "expected cross-shard traffic";
+      EXPECT_GT(sharded.rounds, 0u);
+      EXPECT_GT(sharded.lookahead, 0.0);
+    }
+  }
+}
+
+TEST(ShardedSimRegulated, WorkerThreadCountNeverChangesTheTrace) {
+  const auto cfg = base_config(TrafficKind::Audio, RegulationScheme::SigmaRho);
+  const auto ref = run_reference(cfg);
+  for (const std::size_t threads : {1u, 2u, 3u, 4u}) {
+    const auto sharded = run_sharded(cfg, 4, threads);
+    ASSERT_TRUE(sharded.trace == ref.trace)
+        << threads << " worker threads: traces differ";
+  }
+}
+
+TEST(ShardedSimRegulated, AllTrafficKindsMatch) {
+  for (const TrafficKind kind :
+       {TrafficKind::Audio, TrafficKind::Video, TrafficKind::Hetero}) {
+    auto cfg = base_config(kind, RegulationScheme::SigmaRho);
+    cfg.duration = 1.0;
+    const auto ref = run_reference(cfg);
+    ASSERT_GT(ref.deliveries, 0u) << to_string(kind);
+    for (const std::size_t shards : {2u, 4u}) {
+      const auto sharded = run_sharded(cfg, shards);
+      ASSERT_TRUE(sharded.trace == ref.trace)
+          << to_string(kind) << ", " << shards
+          << " shards: canonical delivery traces differ";
+    }
+  }
+}
+
+TEST(ShardedSimRegulated, LambdaBankAndAdaptiveControlMatch) {
+  // The TDMA bank (fixed-grid slot boundaries, depth-staggered epochs)
+  // and the adaptive controller (periodic control ticks, mode switches
+  // with backlog migration) are the most state-heavy paths — run them
+  // at high load where the bank actually engages.
+  for (const RegulationScheme reg :
+       {RegulationScheme::SigmaRhoLambda, RegulationScheme::Adaptive}) {
+    auto cfg = base_config(TrafficKind::Audio, reg);
+    cfg.utilization = 0.92;
+    cfg.duration = 1.0;
+    const auto ref = run_reference(cfg);
+    ASSERT_GT(ref.deliveries, 0u) << to_string(reg);
+    const auto sharded = run_sharded(cfg, 4);
+    EXPECT_EQ(sharded.mode_switches, ref.mode_switches) << to_string(reg);
+    ASSERT_TRUE(sharded.trace == ref.trace)
+        << to_string(reg) << ": canonical delivery traces differ";
+  }
+}
+
+TEST(ShardedSimRegulated, CapacityAwareAndLossInjectionMatch) {
+  // Loss processes are per-host RNG streams owned by the destination
+  // shard, so injected drops must replay identically across engines.
+  auto cfg = base_config(TrafficKind::Audio, RegulationScheme::CapacityAware);
+  cfg.loss_rate = 0.05;
+  cfg.duration = 1.0;
+  const auto ref = run_reference(cfg);
+  ASSERT_GT(ref.deliveries, 0u);
+  ASSERT_GT(ref.losses, 0u);
+  const auto sharded = run_sharded(cfg, 4);
+  EXPECT_EQ(sharded.losses, ref.losses);
+  EXPECT_EQ(sharded.delivery_ratio, ref.delivery_ratio);
+  ASSERT_TRUE(sharded.trace == ref.trace);
+}
+
+TEST(ShardedSimRegulated, SweepRunsOneShardedSimPerPoint) {
+  MultiGroupSimConfig cfg =
+      base_config(TrafficKind::Audio, RegulationScheme::SigmaRho);
+  cfg.collect_trace = false;
+  cfg.duration = 1.0;
+  cfg.engine = sim::EngineKind::Sharded;
+  cfg.shards = 2;
+  const std::vector<double> grid{0.4, 0.8};
+  const auto results = sweep_multigroup(cfg, grid);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.shards, 2u);
+    EXPECT_GT(r.deliveries, 0u);
+  }
+  EXPECT_DOUBLE_EQ(results[0].utilization, 0.4);
+  EXPECT_DOUBLE_EQ(results[1].utilization, 0.8);
+}
+
+}  // namespace
+}  // namespace emcast::experiments

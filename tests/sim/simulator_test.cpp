@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -77,6 +78,25 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
 TEST(Simulator, RejectsNegativeDelay) {
   Simulator sim;
   EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsNaNDelayAndTime) {
+  // Regression: the old `delay < 0.0` guard let NaN through (every
+  // comparison with NaN is false), poisoning now + delay and with it the
+  // pending-set ordering.  Both entry points must reject NaN loudly.
+  Simulator sim;
+  const Time nan = std::numeric_limits<Time>::quiet_NaN();
+  EXPECT_THROW(sim.schedule_in(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(nan, [] {}), std::invalid_argument);
+  // Infinite times are rejected by the event queue's finite-time check.
+  const Time inf = std::numeric_limits<Time>::infinity();
+  EXPECT_THROW(sim.schedule_in(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(inf, [] {}), std::invalid_argument);
+  // The kernel stays usable after the rejections.
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(Simulator, RejectsSchedulingInThePast) {
