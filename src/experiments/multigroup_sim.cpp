@@ -71,6 +71,20 @@ overlay::MultiGroupNetwork build_trees(const MultiGroupSimConfig& config) {
   return overlay::MultiGroupNetwork(net, mc);
 }
 
+/// True when `engine` can be Engine::reset() for `config` instead of
+/// rebuilt: same backend kind and same construction-time knobs (the
+/// host->shard map and lookahead are rebound per run, so they are not
+/// compared).
+bool engine_reusable(const sim::Engine& engine,
+                     const MultiGroupSimConfig& config) {
+  const sim::EngineConfig& ec = engine.config();
+  if (ec.kind != config.engine) return false;
+  if (ec.kind == sim::EngineKind::Single) return true;
+  return ec.shards == std::max<std::size_t>(1, config.shards) &&
+         ec.threads == config.threads &&
+         ec.mailbox_capacity == config.mailbox_capacity;
+}
+
 }  // namespace
 
 ShardedMultigroupEngine sharded_engine_config(
@@ -107,6 +121,12 @@ TreeStructureResult evaluate_trees(const MultiGroupSimConfig& config) {
 }
 
 MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
+  std::unique_ptr<sim::Engine> local_slot;
+  return run_multigroup(config, local_slot);
+}
+
+MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
+                                   std::unique_ptr<sim::Engine>& engine_slot) {
   const auto mg = build_trees(config);
   const std::size_t n = mg.host_count();
 
@@ -121,19 +141,31 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
 
   // ---- engine selection ---------------------------------------------------
   // The model below is written once against sim::SimContext; this block is
-  // the only place the backend choice appears.
+  // the only place the backend choice appears.  A compatible warm engine
+  // in the slot is reset (arenas stay warm across sweep points — each
+  // point's trees yield a new partition, rebound here); anything else is
+  // built fresh into the slot.
   MultiGroupSimResult r;
-  sim::EngineConfig ec;
+  const bool reuse = engine_slot && engine_reusable(*engine_slot, config);
   if (config.engine == sim::EngineKind::Sharded) {
     ShardedMultigroupEngine setup = sharded_engine_config(
         mg, config.shards, config.threads, config.mailbox_capacity,
         config.fwd_overhead);
-    ec = std::move(setup.engine);
     r.cross_edges = setup.cross_edges;
     r.total_edges = setup.total_edges;
-    r.lookahead = ec.lookahead;
+    r.lookahead = setup.engine.lookahead;
+    if (reuse) {
+      engine_slot->reset(std::move(setup.engine.shard_of),
+                         setup.engine.lookahead);
+    } else {
+      engine_slot = std::make_unique<sim::Engine>(std::move(setup.engine));
+    }
+  } else if (reuse) {
+    engine_slot->reset();
+  } else {
+    engine_slot = std::make_unique<sim::Engine>(sim::EngineConfig{});
   }
-  sim::Engine engine(ec);
+  sim::Engine& engine = *engine_slot;
 
   // Per-shard measurement state: each shard's worker records into its own
   // slot (no cross-thread traffic); merged after the run.
@@ -388,6 +420,13 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
   r.rounds = engine.rounds();
   r.messages = engine.messages_posted();
   r.messages_spilled = engine.messages_spilled();
+  // The engine in the slot outlives this frame, but the handler installed
+  // above (and any beyond-horizon events still pending) capture this
+  // frame's locals by reference.  Discard both so a stray direct use of
+  // the slot between runs fails fast (empty DeliverFn) instead of firing
+  // dangling captures; the next warm run installs its own state anyway.
+  engine.reset();
+  engine.set_deliver({});
   return r;
 }
 

@@ -11,6 +11,7 @@
 //   (the j-th child copy waits j·size/C)  +  underlay propagation delay.
 
 #include <cstdint>
+#include <memory>
 
 #include "core/adaptive_host.hpp"
 #include "experiments/delivery_trace.hpp"
@@ -100,6 +101,19 @@ struct MultiGroupSimResult {
 };
 
 MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config);
+
+/// Warm-reuse entry point: `engine_slot` caches a sim::Engine across
+/// calls.  An empty slot (or one whose kind/shards/threads/
+/// mailbox_capacity no longer match the config) is (re)built; a
+/// compatible slot is Engine::reset() between runs — rebinding the
+/// partition-derived host->shard map and lookahead on the sharded
+/// backend — so every kernel/mailbox arena stays warm and the run
+/// performs zero steady-state allocations inside the engine.  Results
+/// are byte-identical to the fresh-engine overload (the differential
+/// suite pins the canonical traces).  The slot must not be shared
+/// between threads; sweeps keep one per worker lane.
+MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
+                                   std::unique_ptr<sim::Engine>& engine_slot);
 
 /// Process-wide cache of attached networks so sweeps share one topology
 /// (thread-safe; keyed by host count and seed).

@@ -27,6 +27,10 @@ std::vector<SingleHostResult> sweep_single_host(SingleHostConfig base,
 
 /// Sweep run_multigroup over `grid`.  With base.engine == Sharded the
 /// points run sequentially, each fanned out over its own shard workers.
+/// Engines are warm-reused (Engine::reset between points — one warm
+/// engine per worker lane on the Single axis, one for the whole sweep on
+/// the Sharded axis), so only a lane's first point pays engine
+/// construction; every later point runs on warmed arenas.
 std::vector<MultiGroupSimResult> sweep_multigroup(
     MultiGroupSimConfig base, const std::vector<double>& grid,
     std::size_t threads = 0);

@@ -31,6 +31,28 @@ void CalendarPendingSet::sort_bucket(std::size_t b) {
   heads_[b] = idx_scratch_[0] | kSortedBit;
 }
 
+void CalendarPendingSet::clear() noexcept {
+  // pool_.clear() drops every chain at once (nodes are trivially
+  // destructible) while the vector keeps its capacity, so the next
+  // promotion rebuild's reserve() is a no-op on a warmed queue.
+  pool_.clear();
+  free_head_ = kNil;
+  std::fill(heads_.begin(), heads_.end(), kNil);
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  overflow_.clear();
+  year_base_ = 0;
+  year_end_ = 0;
+  day_shift_ = 0;
+  in_buckets_ = 0;
+  hint_ = 0;
+  size_ = 0;
+  cursor_ = kNoCursor;
+  small_mode_ = true;
+  mode_switches_ = 0;
+  rebuilds_ = 0;
+  year_advances_ = 0;
+}
+
 void CalendarPendingSet::collapse_to_small() {
   // The population drained below the hysteresis floor: hand the bucket
   // chains back to the overflow heap and run heap-only until the count

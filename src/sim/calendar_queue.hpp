@@ -76,6 +76,15 @@ class CalendarPendingSet {
   }
   PendingEntry pop_min();
 
+  /// Drop every entry but keep all arenas warm (node pool, bucket heads,
+  /// bitmap, overflow buffer, scratch): the warm-reuse path of the engine.
+  /// The policy returns to its fresh logical state — small mode, no year —
+  /// so the day width is re-derived lazily by the next promotion rebuild,
+  /// from the *new* run's population, not the old one's.  Telemetry
+  /// counters (rebuilds, year advances, mode switches) restart at zero.
+  /// Never allocates.
+  void clear() noexcept;
+
   /// Remove every entry for which `dead` holds.  Unlinking preserves the
   /// relative chain order, so sorted buckets stay sorted.
   template <typename Pred>

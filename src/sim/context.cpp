@@ -1,6 +1,7 @@
 #include "sim/context.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace emcast::sim {
@@ -8,6 +9,26 @@ namespace emcast::sim {
 const char* to_string(EngineKind kind) {
   return kind == EngineKind::Single ? "single" : "sharded";
 }
+
+namespace {
+
+/// Shared by the constructor and the rebinding reset: a sharded backend
+/// with shards > 1 needs a map, and every entry must name a real shard.
+void validate_shard_map(const std::vector<std::uint32_t>& shard_of,
+                        std::size_t shards) {
+  if (shards > 1 && shard_of.empty()) {
+    throw std::invalid_argument(
+        "Engine: sharded backend with shards > 1 needs a host->shard map");
+  }
+  for (const std::uint32_t s : shard_of) {
+    if (s >= std::max<std::size_t>(1, shards)) {
+      throw std::invalid_argument(
+          "Engine: shard_of entry out of range (>= shards)");
+    }
+  }
+}
+
+}  // namespace
 
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   if (config_.kind == EngineKind::Single) {
@@ -23,16 +44,7 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
     return;
   }
 
-  if (config_.shards > 1 && config_.shard_of.empty()) {
-    throw std::invalid_argument(
-        "Engine: sharded backend with shards > 1 needs a host->shard map");
-  }
-  for (const std::uint32_t s : config_.shard_of) {
-    if (s >= std::max<std::size_t>(1, config_.shards)) {
-      throw std::invalid_argument(
-          "Engine: shard_of entry out of range (>= shards)");
-    }
-  }
+  validate_shard_map(config_.shard_of, config_.shards);
   ShardedConfig shc;
   shc.shards = config_.shards;
   shc.threads = config_.threads;
@@ -61,6 +73,37 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
               (*b->on_deliver)(SimContext(b), host, p);
             });
       });
+}
+
+void Engine::reset() {
+  if (single_ != nullptr) {
+    single_->reset_discarding(0.0);
+  } else {
+    sharded_->reset();
+  }
+}
+
+void Engine::reset(std::vector<std::uint32_t> shard_of, Time lookahead) {
+  if (single_ != nullptr) {
+    throw std::invalid_argument(
+        "Engine::reset: cannot rebind a host->shard map on a Single engine");
+  }
+  validate_shard_map(shard_of, config_.shards);
+  if (!(lookahead > 0) || !std::isfinite(lookahead)) {
+    throw std::invalid_argument("Engine::reset: lookahead must be > 0");
+  }
+  // Rewind the backend BEFORE rebinding: a mid-run reset throws out of
+  // the kernel guard with the old routing still intact.
+  sharded_->reset(lookahead);
+  config_.lookahead = lookahead;
+  config_.shard_of = std::move(shard_of);
+  // The map's storage moved: re-point every backend record at it.
+  const std::uint32_t* map =
+      config_.shard_of.empty() ? nullptr : config_.shard_of.data();
+  for (auto& b : backends_) {
+    b.shard_of = map;
+    b.shard_of_size = config_.shard_of.size();
+  }
 }
 
 std::uint64_t Engine::run(Time until) {

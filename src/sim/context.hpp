@@ -80,6 +80,13 @@ struct ContextBackend {
 
 }  // namespace detail
 
+/// The 16-byte engine-agnostic kernel handle (see the header comment).
+/// Owns nothing and is trivially copyable: pass by value, capture in
+/// event lambdas.  It must not outlive the Engine/kernel that issued it,
+/// but it DOES stay valid across Engine::reset()/Simulator::reset — the
+/// backend records and kernels it points at are address-stable for the
+/// engine's lifetime, so warm-reuse callers may keep contexts across
+/// runs (the events and handles scheduled through them do not survive).
 class SimContext {
  public:
   SimContext() = default;
@@ -216,13 +223,47 @@ struct EngineConfig {
 
 /// Owns one backend — a single-threaded Simulator or a ShardedSimulator —
 /// plus the delivery routing; vends SimContexts to the model.
+///
+/// An Engine is built once and may run MANY simulations: reset() rewinds
+/// the backend between runs with every arena kept warm (event slabs,
+/// pending-set buffers, mailbox rings, spill and drain vectors), so the
+/// second and later runs allocate nothing in steady state — the warm-sweep
+/// path of experiments::sweep_multigroup.  The backend kind, shard count,
+/// worker count and mailbox capacity are construction-time choices; the
+/// host->shard map and the lookahead may be re-derived per run through
+/// the rebinding reset overload (sweep points build different overlays).
 class Engine {
  public:
   explicit Engine(EngineConfig config);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Rewind for another run, keeping the current routing (shard_of map,
+  /// lookahead) and the installed DeliverFn.
+  ///
+  /// Survives: every backend arena (see the class comment), the routing
+  /// record addresses — contexts obtained from context()/context_for_host
+  /// BEFORE the reset remain valid and equivalent to freshly obtained
+  /// ones.  Invalidated: all pending events (discarded — a horizon-bounded
+  /// run legitimately leaves beyond-horizon events behind, so Engine
+  /// reset always discards), every EventHandle (permanently stale, safe
+  /// no-ops), clocks (rewound to 0) and telemetry counters.  Model state
+  /// the engine does not own — components, tracers, RNG streams — must be
+  /// rebuilt by the caller; set_deliver() may be called again to install
+  /// the new run's handler.  Throws std::logic_error if invoked from
+  /// inside an executing event.  Never allocates.
+  void reset();
+
+  /// Sharded only: reset AND rebind the routing for the next run —
+  /// install a new host->shard map (validated like the constructor's) and
+  /// a new conservative lookahead (> 0, finite).  The shard count itself
+  /// cannot change.  Throws std::invalid_argument on a Single engine.
+  void reset(std::vector<std::uint32_t> shard_of, Time lookahead);
+
   EngineKind kind() const { return config_.kind; }
+  /// The (normalised) configuration the engine was built with; the
+  /// warm-reuse callers compare it to decide reset vs. rebuild.
+  const EngineConfig& config() const { return config_; }
   std::size_t shard_count() const { return backends_.size(); }
   std::size_t thread_count() const {
     return sharded_ != nullptr ? sharded_->thread_count() : 1;

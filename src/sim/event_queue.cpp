@@ -34,6 +34,26 @@ void EventQueueBase::teardown_slots() noexcept {
   }
 }
 
+void EventQueueBase::reset_slots() noexcept {
+  // The two-phase teardown (every handle goes stale before any capture
+  // destructor runs) is exactly teardown_slots; then, instead of leaving
+  // the arrays behind for the destructor, every slot of each pool is
+  // relinked into an ascending free list, so the warmed queue reissues
+  // slots in the exact order a fresh queue would first allocate them.
+  teardown_slots();
+  for (std::size_t pool = 0; pool < 2; ++pool) {
+    auto& occupants = occupant_[pool];
+    const std::size_t n = occupants.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t next =
+          i + 1 < n ? static_cast<std::uint32_t>(i + 1) : kNoSlot;
+      occupants[i] = kVacantTag | next;
+    }
+    free_head_[pool] = n != 0 ? 0 : kNoSlot;
+  }
+  // next_seq_ is deliberately NOT rewound (epoch safety — see the header).
+}
+
 void EventQueueBase::cancel_handle(const EventHandle& h) {
   if (h.queue_ != this || occupant(h.slot_) != h.seq_) {
     return;  // already fired/cancelled (or the slot was recycled)

@@ -174,6 +174,16 @@ class EventQueueBase {
   /// instead of reading freed occupant words or reaching the pure-virtual
   /// policy hook of a partially-destroyed object.  Idempotent.
   void teardown_slots() noexcept;
+  /// Warm-reuse variant of teardown: destroy every capture exactly like
+  /// teardown_slots, then relink ALL slots (ascending, so a reused queue
+  /// hands slots out in the same order a fresh one grows them) into the
+  /// free lists instead of leaving the arrays behind for the destructor.
+  /// The slabs and occupant arrays are retained — no memory is freed —
+  /// and next_seq_ is NOT rewound: generations stay monotone across
+  /// resets, so a handle from a pre-reset epoch can never match a
+  /// post-reset occupant (pending() is false, cancel() a no-op) even when
+  /// its slot is reoccupied.  Never allocates.
+  void reset_slots() noexcept;
   [[noreturn]] static void throw_nonfinite_time();
   [[noreturn]] static void throw_capacity_exhausted(const char* what);
 
@@ -219,6 +229,15 @@ class BasicEventQueue : public EventQueueBase {
     EventFn fn;
   };
   Fired pop();
+
+  /// Discard every pending event (captures destroyed, slots recycled) and
+  /// rewind to the fresh logical state while keeping every arena warm —
+  /// callback slabs, occupant arrays, the pending-set policy's buffers.
+  /// Outstanding handles go permanently stale (sequence numbers stay
+  /// monotone across clears — the pre-clear epoch can never be confused
+  /// with the new one), so stray cancel()/pending() calls remain safe
+  /// no-ops.  Never allocates; the warm-reuse entry point of the engine.
+  void clear() noexcept;
 
   std::size_t size_including_dead() const { return pending_.size(); }
 
@@ -372,6 +391,12 @@ void BasicEventQueue<Policy>::maybe_compact() {
   pending_.remove_if(
       [this](const PendingEntry& e) { return entry_dead(e); });
   dead_pending_ = 0;
+}
+
+template <typename Policy>
+void BasicEventQueue<Policy>::clear() noexcept {
+  reset_slots();
+  pending_.clear();
 }
 
 }  // namespace emcast::sim

@@ -33,6 +33,14 @@ void ShardMailbox::post(const Packet& p, std::int32_t dest_host,
   }
 }
 
+void ShardMailbox::reset() {
+  ring_.rewind();
+  spill_.clear();  // capacity retained: the spill arena stays warm
+  next_seq_ = 0;
+  posted_ = 0;
+  spilled_ = 0;
+}
+
 void ShardMailbox::drain_into(std::vector<CrossShardMsg>& out) {
   // Ring entries precede spill entries in post (seq) order: within one
   // window the ring fills monotonically and only then spills, and drains

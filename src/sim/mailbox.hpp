@@ -62,6 +62,12 @@ class ShardMailbox {
   /// only run while producers are quiescent (between windows).
   void drain_into(std::vector<CrossShardMsg>& out);
 
+  /// Rewind for a new run: empty the ring and spill arenas WITHOUT
+  /// releasing them and restart the per-mailbox sequence and telemetry
+  /// counters.  NOT thread-safe — call only between runs, with every
+  /// worker quiescent.  Never allocates.
+  void reset();
+
   std::uint64_t posted() const { return posted_; }
   std::uint64_t spilled() const { return spilled_; }
 

@@ -4,6 +4,17 @@
 
 namespace emcast::sim {
 
+void Shard::reset(Time lookahead) {
+  sim_.reset_discarding(0.0);
+  lookahead_ = lookahead;
+  for (auto& mailbox : incoming_) {
+    if (mailbox) mailbox->reset();
+  }
+  drain_buf_.clear();  // capacity retained
+  messages_received_ = 0;
+  in_drain_ = false;
+}
+
 std::size_t Shard::drain_and_schedule() {
   drain_buf_.clear();
   for (auto& mailbox : incoming_) {

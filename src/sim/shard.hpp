@@ -83,6 +83,14 @@ class Shard {
   friend class ShardedSimulator;
   Shard() = default;
 
+  /// Warm rewind for a new run (ShardedSimulator::reset): discard the
+  /// kernel's pending events with its arenas kept warm, rewind the
+  /// incoming mailboxes (rings, spill vectors and sequence counters —
+  /// producers are quiescent between runs by the round protocol), keep
+  /// the drain-buffer arena, restart telemetry, and take the (possibly
+  /// re-derived) lookahead for the next run.  Never allocates.
+  void reset(Time lookahead);
+
   /// Between-windows step (destination worker thread): drain every
   /// incoming mailbox, sort the round's messages into the deterministic
   /// (deliver_at, source shard, seq) order, and hand each to the model's

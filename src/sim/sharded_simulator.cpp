@@ -104,6 +104,33 @@ std::uint64_t ShardedSimulator::run(Time until) {
   return events_executed() - events_before_run_;
 }
 
+void ShardedSimulator::reset(Time lookahead) {
+  // lookahead <= 0 keeps the current value.  Negated comparison so NaN
+  // falls into the update branch and reaches the finiteness throw (the
+  // kernel guard convention) instead of silently keeping a stale value.
+  Time next_lookahead = config_.lookahead;
+  if (!(lookahead <= 0.0)) {
+    if (!std::isfinite(lookahead)) {
+      throw std::invalid_argument(
+          "ShardedSimulator::reset: lookahead not finite");
+    }
+    next_lookahead = lookahead;
+  }
+  // A reset issued from inside a model event reaches a mid-run kernel,
+  // whose reset_discarding throws (best-effort misuse guard; the sharded
+  // state is unspecified after such a throw, exactly like after a model
+  // exception aborting run()).  config_ commits only after every kernel
+  // guard passed, so a failed mid-run rebind never leaves a lookahead
+  // that a later keep-current reset would silently propagate.
+  for (auto& s : shards_) s->reset(next_lookahead);
+  config_.lookahead = next_lookahead;
+  rounds_ = 0;
+  events_before_run_ = 0;
+  first_error_ = nullptr;
+  min_key_[0].store(kInfKey, std::memory_order_relaxed);
+  min_key_[1].store(kInfKey, std::memory_order_relaxed);
+}
+
 void ShardedSimulator::record_error() noexcept {
   std::lock_guard lock(error_mutex_);
   if (!first_error_) first_error_ = std::current_exception();

@@ -89,6 +89,20 @@ class ShardedSimulator {
   /// Simulator::run).  Returns the number of events executed this call.
   std::uint64_t run(Time until = kTimeInfinity);
 
+  /// Rewind every shard for another simulation, keeping all arenas warm:
+  /// per-shard kernels (reset_discarding — beyond-horizon leftovers are
+  /// expected after a bounded run), mailbox rings/spill vectors, drain
+  /// buffers.  Telemetry (rounds, events, messages) restarts at zero; the
+  /// message handler and the shard/thread topology are retained —
+  /// shard count, worker count and mailbox capacity are construction-time
+  /// choices.  `lookahead` <= 0 keeps the current value; a positive value
+  /// re-derives the conservative window width for the next run (it must
+  /// be finite, or std::invalid_argument).  Only callable between runs
+  /// (run() is synchronous; a reset issued from inside a model event
+  /// lands on a mid-run kernel and throws std::logic_error).  Never
+  /// allocates.
+  void reset(Time lookahead = 0.0);
+
   // -- telemetry ----------------------------------------------------------
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t events_executed() const;

@@ -51,6 +51,17 @@ class SpscRing {
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Rewind to empty WITHOUT reallocating the buffer — the warm-reuse
+  /// path.  NOT thread-safe: like reset_capacity, callers must guarantee
+  /// both sides are quiescent (e.g. between simulation runs, after the
+  /// worker threads joined).
+  void rewind() {
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    cached_head_ = 0;
+    cached_tail_ = 0;
+  }
+
   /// Producer side.  False when the ring is full (caller spills).
   bool try_push(const T& value) {
     assert(buffer_ != nullptr && "SpscRing: reset_capacity before use");

@@ -57,8 +57,20 @@ ThreadPool& shared_pool() {
   return pool;
 }
 
+std::size_t max_parallel_lanes(std::size_t threads) {
+  const std::size_t lanes = threads == 0 ? shared_pool().size() + 1 : threads;
+  return std::max<std::size_t>(1, lanes);
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
+  parallel_for_lanes(
+      n, [&fn](std::size_t, std::size_t i) { fn(i); }, threads);
+}
+
+void parallel_for_lanes(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t threads) {
   if (n == 0) return;
 
   std::atomic<std::size_t> next{0};
@@ -70,11 +82,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   // automatically.  A throwing index is recorded but does not stop the
   // remaining indices, matching the old every-task-runs semantics; the
   // lowest-index exception wins (deterministically, not by lane race).
-  auto work = [&] {
+  auto work = [&](std::size_t lane) {
     for (std::size_t i;
          (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
       try {
-        fn(i);
+        fn(lane, i);
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!first_error || i < first_error_index) {
@@ -90,15 +102,18 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   // A nested call (already on a pool worker) runs caller-only: submitting
   // helpers and waiting from inside a worker could block every worker on
   // queued tasks none of them is free to run.
-  const std::size_t lanes = threads == 0 ? pool.size() + 1 : threads;
+  // One definition of the lane bound: callers size per-lane state with
+  // max_parallel_lanes, so lane ids must come from the same formula.
+  const std::size_t lanes = max_parallel_lanes(threads);
   const std::size_t helpers =
-      t_pool_worker ? 0
-                    : std::min({lanes > 0 ? lanes - 1 : 0, pool.size(), n - 1});
+      t_pool_worker ? 0 : std::min({lanes - 1, pool.size(), n - 1});
   std::vector<std::future<void>> futures;
   futures.reserve(helpers);
   try {
+    // The caller is lane 0; helper i is lane i + 1 — stable for the whole
+    // call, so per-lane caller state is touched by at most one thread.
     for (std::size_t i = 0; i < helpers; ++i) {
-      futures.push_back(pool.submit(work));
+      futures.push_back(pool.submit([&work, i] { work(i + 1); }));
     }
   } catch (...) {
     // Helpers already launched still reference this frame; stop the work
@@ -107,7 +122,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
     for (auto& f : futures) f.get();
     throw;
   }
-  work();
+  work(0);
   for (auto& f : futures) f.get();  // helpers only rethrow via first_error
   if (first_error) std::rethrow_exception(first_error);
 }

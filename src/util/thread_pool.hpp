@@ -66,4 +66,19 @@ ThreadPool& shared_pool();
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 
+/// Upper bound on the lane ids parallel_for_lanes(..., threads) can pass
+/// to its callback — size per-lane state (e.g. one warm sim::Engine per
+/// lane) with this before dispatching.
+std::size_t max_parallel_lanes(std::size_t threads = 0);
+
+/// parallel_for with a stable *lane id*: fn(lane, i) where lane <
+/// max_parallel_lanes(threads) identifies the executing lane (0 = the
+/// calling thread, 1..k = pool helpers) for the whole call.  Two indices
+/// with the same lane never run concurrently, so per-lane state needs no
+/// synchronisation — the hook warm-engine sweeps hang reuse on.
+void parallel_for_lanes(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t threads = 0);
+
 }  // namespace emcast::util

@@ -134,6 +134,92 @@ TEST(ShardedSimRegulated, CapacityAwareAndLossInjectionMatch) {
   ASSERT_TRUE(sharded.trace == ref.trace);
 }
 
+TEST(ShardedSimRegulated, WarmEngineReuseMatchesFreshSingle) {
+  // The warm-reuse acceptance contract (PR 5), single backend: a run on
+  // a reused engine — including returning to an earlier sweep point
+  // after the working set was grown by a different one — produces the
+  // byte-identical canonical trace of a fresh-engine run.
+  auto cfg_a = base_config(TrafficKind::Audio, RegulationScheme::SigmaRho);
+  cfg_a.duration = 1.0;
+  auto cfg_b = cfg_a;
+  cfg_b.utilization = 0.85;
+  const auto fresh_a = run_multigroup(cfg_a);
+  const auto fresh_b = run_multigroup(cfg_b);
+  ASSERT_GT(fresh_a.deliveries, 0u);
+
+  std::unique_ptr<sim::Engine> warm;
+  const auto warm_a1 = run_multigroup(cfg_a, warm);
+  sim::Engine* const built = warm.get();
+  const auto warm_b = run_multigroup(cfg_b, warm);
+  const auto warm_a2 = run_multigroup(cfg_a, warm);
+  EXPECT_EQ(warm.get(), built) << "the slot must be reset, not rebuilt";
+  ASSERT_TRUE(warm_a1.trace == fresh_a.trace);
+  ASSERT_TRUE(warm_b.trace == fresh_b.trace);
+  ASSERT_TRUE(warm_a2.trace == fresh_a.trace)
+      << "a reused engine must replay a point bit-for-bit";
+  EXPECT_EQ(warm_a2.worst_case_delay, fresh_a.worst_case_delay);
+  EXPECT_EQ(warm_a2.deliveries, fresh_a.deliveries);
+}
+
+TEST(ShardedSimRegulated, WarmEngineReuseMatchesFreshSharded) {
+  // Sharded backend, >= 2 shard counts: each point re-derives its own
+  // partition and lookahead, so the warm path exercises the rebinding
+  // Engine::reset(map, lookahead) with mailbox/kernel arenas retained.
+  auto cfg_a = base_config(TrafficKind::Audio, RegulationScheme::SigmaRho);
+  cfg_a.duration = 1.0;
+  auto cfg_b = cfg_a;
+  cfg_b.utilization = 0.85;
+  const auto fresh_ref_a = run_reference(cfg_a);
+  const auto fresh_ref_b = run_reference(cfg_b);
+  for (const std::size_t shards : {2u, 4u}) {
+    auto a = cfg_a;
+    a.engine = sim::EngineKind::Sharded;
+    a.shards = shards;
+    a.threads = 2;
+    auto b = cfg_b;
+    b.engine = sim::EngineKind::Sharded;
+    b.shards = shards;
+    b.threads = 2;
+    std::unique_ptr<sim::Engine> warm;
+    const auto warm_a1 = run_multigroup(a, warm);
+    sim::Engine* const built = warm.get();
+    const auto warm_b = run_multigroup(b, warm);
+    const auto warm_a2 = run_multigroup(a, warm);
+    EXPECT_EQ(warm.get(), built)
+        << shards << " shards: the slot must be reset, not rebuilt";
+    ASSERT_TRUE(warm_a1.trace == fresh_ref_a.trace) << shards << " shards";
+    ASSERT_TRUE(warm_b.trace == fresh_ref_b.trace) << shards << " shards";
+    ASSERT_TRUE(warm_a2.trace == fresh_ref_a.trace)
+        << shards << " shards: reused sharded engine must replay the "
+                     "reference bit-for-bit";
+    if (shards > 1) EXPECT_GT(warm_a2.messages, 0u);
+  }
+}
+
+TEST(ShardedSimRegulated, WarmSlotRebuildsOnIncompatibleConfig) {
+  auto cfg = base_config(TrafficKind::Audio, RegulationScheme::SigmaRho);
+  cfg.duration = 0.5;
+  std::unique_ptr<sim::Engine> warm;
+  run_multigroup(cfg, warm);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(warm->kind(), sim::EngineKind::Single);
+  sim::Engine* const single_engine = warm.get();
+
+  cfg.engine = sim::EngineKind::Sharded;
+  cfg.shards = 2;
+  run_multigroup(cfg, warm);
+  EXPECT_EQ(warm->kind(), sim::EngineKind::Sharded);
+  EXPECT_NE(warm.get(), single_engine) << "kind change must rebuild";
+  sim::Engine* const two_shards = warm.get();
+
+  run_multigroup(cfg, warm);
+  EXPECT_EQ(warm.get(), two_shards) << "same config must reuse";
+
+  cfg.shards = 4;
+  run_multigroup(cfg, warm);
+  EXPECT_NE(warm.get(), two_shards) << "shard-count change must rebuild";
+}
+
 TEST(ShardedSimRegulated, SweepRunsOneShardedSimPerPoint) {
   MultiGroupSimConfig cfg =
       base_config(TrafficKind::Audio, RegulationScheme::SigmaRho);

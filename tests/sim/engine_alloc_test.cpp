@@ -293,6 +293,84 @@ TEST(EngineAllocation, SmallModeChurnIsAllocationFree) {
       << "small-mode churn must leave the bucket machinery untouched";
 }
 
+TEST(EngineAllocation, WarmResetSecondRunIsAllocationFree) {
+  // The warm-reuse contract (PR 5): after one run grows the working set,
+  // reset_discarding() plus an identical second run allocate NOTHING —
+  // the reset itself included — and every calendar arena stays pinned.
+  // The workload exceeds the small-mode threshold, so the second run
+  // re-promotes into the calendar layout from retained arrays.
+  Simulator sim;
+  constexpr int kOutstanding = 3000;
+  auto workload = [&sim] {
+    for (int i = 0; i < kOutstanding; ++i) {
+      sim.schedule_in(0.001 * i + 0.001, [] {});
+    }
+    return sim.run();
+  };
+  const std::uint64_t events_first = workload();
+  EXPECT_EQ(events_first, static_cast<std::uint64_t>(kOutstanding));
+
+  const std::size_t before = g_allocations.load();
+  sim.reset_discarding();
+  EXPECT_EQ(g_allocations.load(), before) << "reset itself must not allocate";
+  EXPECT_EQ(workload(), events_first);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "the second warm run must not allocate";
+}
+
+TEST(EngineAllocation, ShardedEngineResetSecondRunIsAllocationFree) {
+  // Engine::reset across the full sharded stack: kernels, mailbox rings,
+  // spill vectors and drain buffers all survive the reset warm, so the
+  // second run — including fresh cross-shard spill traffic — allocates
+  // nothing and moves nothing.  threads = 1 keeps the scheduler
+  // in-process (std::thread startup allocates by design); the schedule
+  // is identical for every thread count.
+  EngineConfig ec;
+  ec.kind = EngineKind::Sharded;
+  ec.shards = 2;
+  ec.threads = 1;
+  ec.lookahead = 0.5;
+  ec.mailbox_capacity = 4;  // keep the ring-spill path hot
+  ec.shard_of = {0, 0, 1, 1};
+  Engine engine(ec);
+  engine.set_deliver([](SimContext ctx, HostId host, const Packet& p) {
+    if (p.id == 1 && ctx.now() < 18.0) {
+      Packet copy = p;
+      copy.id = 0;
+      ctx.deliver(host, copy, ctx.now() + 0.125);  // local hop
+      const HostId remote = host < 2 ? 2 : 0;
+      for (int i = 0; i < 6; ++i) {  // burst > ring capacity: spills
+        copy.id = i == 0 ? 1 : 0;
+        ctx.deliver(remote, copy, ctx.now() + ctx.lookahead());
+      }
+    }
+  });
+  auto kick = [&engine] {
+    SimContext s0 = engine.context(0);
+    s0.schedule_at(0.0, [s0] {
+      Packet p;
+      p.id = 1;
+      s0.deliver(2, p, s0.now() + 0.5);
+    });
+    engine.run(20.0);
+  };
+  kick();  // warm-up run grows every arena
+  ASSERT_GT(engine.messages_spilled(), 0u);
+  const std::uint64_t events_first = engine.events_executed();
+
+  const std::size_t before = g_allocations.load();
+  engine.reset();
+  EXPECT_EQ(g_allocations.load(), before)
+      << "Engine::reset must not allocate";
+  kick();  // identical second run on warmed arenas
+  EXPECT_EQ(g_allocations.load(), before)
+      << "the second warm run must not allocate";
+  EXPECT_EQ(engine.events_executed(), events_first)
+      << "the warm rerun replays the identical schedule";
+  EXPECT_GT(engine.messages_spilled(), 0u)
+      << "the second run must exercise the spill path again";
+}
+
 TEST(EngineAllocation, SimulatorEventLoopIsAllocationFree) {
   // The full scheduling loop — Simulator::schedule_in through run() — with
   // a self-rescheduling callback and a capture-carrying payload.
