@@ -1,0 +1,74 @@
+// Churn-on vs churn-off A/B for the multigroup model (PR 6).
+//
+// The fault-injection subsystem must be pay-for-what-you-use: with churn
+// disabled the model takes the exact pre-churn path (pinned by the
+// ChurnOffPathIsUnchanged test), and with churn enabled the overhead is
+// schedule resolution (setup) plus per-event replica reads and the
+// repairs themselves.  Both sides of each twin run in the same session,
+// so the pair ratio is runner-speed immune — gated by bench_compare.py
+// --ab-suffix Off.
+//
+// The argument is the host count: 48 is the short-run sweep regime, 96
+// the differential-suite size.  Warm engine slot on both sides (the
+// sweep's code path), so the twins isolate churn cost, not setup cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "experiments/multigroup_sim.hpp"
+
+namespace {
+
+using namespace emcast;
+using namespace emcast::experiments;
+
+MultiGroupSimConfig bench_config(std::size_t hosts, bool churn) {
+  MultiGroupSimConfig c;
+  c.kind = TrafficKind::Audio;
+  c.regulation = RegulationScheme::SigmaRho;
+  c.utilization = 0.6;
+  c.hosts = hosts;
+  c.duration = 0.6;
+  c.warmup = 0.1;
+  c.seed = 7;
+  if (churn) {
+    c.churn.enabled = true;
+    c.churn.seed = 13;
+    c.churn.leave_rate = 0.4;
+    c.churn.crash_fraction = 0.7;
+    c.churn.rejoin_rate = 2.0;
+    c.churn.detection_timeout = 0.05;
+    c.churn.domain_failure_rate = 1.0;
+    c.churn.settle_window = 0.2;
+  }
+  return c;
+}
+
+void run_twin(benchmark::State& state, bool churn) {
+  const auto cfg = bench_config(static_cast<std::size_t>(state.range(0)),
+                                churn);
+  std::unique_ptr<sim::Engine> slot;  // warm across iterations
+  std::int64_t deliveries = 0;
+  for (auto _ : state) {
+    const auto r = run_multigroup(cfg, slot);
+    deliveries += static_cast<std::int64_t>(r.deliveries);
+    benchmark::DoNotOptimize(r.worst_case_delay);
+  }
+  state.SetItemsProcessed(deliveries);
+}
+
+void BM_MultigroupChurn(benchmark::State& state) { run_twin(state, true); }
+BENCHMARK(BM_MultigroupChurn)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_MultigroupChurnOff(benchmark::State& state) {
+  run_twin(state, false);
+}
+BENCHMARK(BM_MultigroupChurnOff)
+    ->Arg(48)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

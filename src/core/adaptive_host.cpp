@@ -137,12 +137,14 @@ void AdaptiveHost::control_tick() {
                     " → (σ,ρ,λ) model");
     activate(ControlMode::SigmaRhoLambda);
     ++mode_switches_;
+    last_mode_switch_ = ctx_.now();
   } else if (active_ == ControlMode::SigmaRhoLambda &&
              last_utilization_ <= down) {
     util::log_debug("AdaptiveHost: ρ̄=", last_utilization_, " ≤ ", down,
                     " → (σ,ρ) model");
     activate(ControlMode::SigmaRho);
     ++mode_switches_;
+    last_mode_switch_ = ctx_.now();
   }
   ctx_.schedule_in(control_interval_, [this] { control_tick(); });
 }

@@ -94,6 +94,12 @@ class AdaptiveHost {
 
   std::uint64_t mode_switches() const { return mode_switches_; }
 
+  /// Simulated time of the most recent mode switch, -infinity if the host
+  /// never switched.  The churn experiments read this after each repair
+  /// to measure how long the adaptive controller takes to re-converge on
+  /// the post-repair traffic mix.
+  Time last_mode_switch_time() const { return last_mode_switch_; }
+
   /// Per-hop delay statistics (arrival at host → departure from MUX).
   const sim::DelayTracer& delay() const { return tracer_; }
 
@@ -122,6 +128,7 @@ class AdaptiveHost {
   ControlMode active_ = ControlMode::SigmaRho;
   double last_utilization_ = 0.0;
   std::uint64_t mode_switches_ = 0;
+  Time last_mode_switch_ = -kTimeInfinity;
   sim::DelayTracer tracer_;
 };
 

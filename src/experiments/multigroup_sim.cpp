@@ -5,9 +5,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 
 #include "core/mux.hpp"
+#include "netcalc/dsct_bounds.hpp"
 #include "sim/context.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/loss_model.hpp"
 #include "sim/pending_entry.hpp"
 #include "sim/tracer.hpp"
@@ -127,8 +130,37 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config) {
 
 MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
                                    std::unique_ptr<sim::Engine>& engine_slot) {
+  // Failure-injection knobs are validated up front: a negative loss_rate
+  // used to silently disable loss instead of failing, and loss_burst was
+  // only checked once a loss model was actually constructed.
+  if (!(config.loss_rate >= 0.0 && config.loss_rate <= 1.0)) {
+    throw std::invalid_argument(
+        "run_multigroup: loss_rate must be in [0, 1]");
+  }
+  if (!(config.loss_burst >= 1.0)) {
+    throw std::invalid_argument(
+        "run_multigroup: loss_burst must be >= 1 (mean burst length)");
+  }
+  if (config.churn.enabled) config.churn.validate();
+
   const auto mg = build_trees(config);
   const std::size_t n = mg.host_count();
+
+  // Resolve the churn timeline before the engine choice: the sharded
+  // setup derives its lookahead-epoch plan from it.  Group sources are
+  // protected — the paper's model keeps each group rooted at its source.
+  const bool churn_on = config.churn.enabled;
+  ChurnSchedule churn_schedule;
+  if (churn_on) {
+    std::vector<std::size_t> protected_hosts;
+    protected_hosts.reserve(static_cast<std::size_t>(mg.groups()));
+    for (int g = 0; g < mg.groups(); ++g) {
+      protected_hosts.push_back(mg.source(g));
+    }
+    const ChurnCostModel cost{config.fwd_overhead, config.fwd_cpu_rate};
+    churn_schedule = make_churn_schedule(config.churn, mg, protected_hosts,
+                                         cost, config.duration);
+  }
 
   ScenarioConfig sc;
   sc.kind = config.kind;
@@ -153,13 +185,32 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
         config.fwd_overhead);
     r.cross_edges = setup.cross_edges;
     r.total_edges = setup.total_edges;
+    // Churn re-parents members mid-run, so the minimum cross-shard edge
+    // delay — and with it the safe window width — is a step function of
+    // time.  Derive the epoch plan from the resolved schedule and floor
+    // the uniform lookahead to the plan's minimum; the engine remaps the
+    // window width at each epoch boundary (a window boundary by
+    // construction).
+    std::vector<sim::LookaheadEpoch> plan;
+    if (churn_on) {
+      plan = churn_lookahead_plan(
+          churn_schedule, mg, config.churn, setup.engine.shard_of,
+          config.fwd_overhead,
+          setup.engine.lookahead - config.fwd_overhead);
+      for (const sim::LookaheadEpoch& e : plan) {
+        setup.engine.lookahead =
+            std::min(setup.engine.lookahead, e.lookahead);
+      }
+    }
     r.lookahead = setup.engine.lookahead;
+    r.lookahead_epochs = plan.size();
     if (reuse) {
       engine_slot->reset(std::move(setup.engine.shard_of),
                          setup.engine.lookahead);
     } else {
       engine_slot = std::make_unique<sim::Engine>(std::move(setup.engine));
     }
+    if (!plan.empty()) engine_slot->set_lookahead_plan(std::move(plan));
   } else if (reuse) {
     engine_slot->reset();
   } else {
@@ -173,9 +224,25 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     sim::DelayTracer tracer;
     DeliveryTrace trace;
     std::uint64_t losses = 0;
+    std::uint64_t churn_losses = 0;
+    std::uint64_t violations_repair = 0;
+    std::uint64_t violations_steady = 0;
+    double reconv_sum = 0;
+    Time reconv_max = 0;
+    std::uint64_t reconv_count = 0;
   };
   std::vector<ShardState> shard_state(engine.shard_count());
   for (auto& s : shard_state) s.tracer.set_warmup(config.warmup);
+
+  // Per-kernel membership replicas (see churn_schedule.hpp): every kernel
+  // replays the identical fault timeline against its own copy, so tree
+  // reads at any simulated time agree across kernels without messages.
+  std::vector<ChurnState> replicas(engine.shard_count());
+  sim::FaultInjector injector;
+  if (churn_on) {
+    for (ChurnState& rep : replicas) rep.reset(mg, config.churn);
+    injector.set_schedule(churn_schedule.actions);
+  }
 
   // Mean per-hop latency for the TDMA depth stagger: app-layer forwarding
   // plus the average underlay propagation of the tree edges.
@@ -193,6 +260,22 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     }
     if (prop_cnt) mean_hop_latency += prop_sum / static_cast<double>(prop_cnt);
   }
+
+  // The bound the churn violation counters compare against: the config
+  // override, or the paper's plain multicast WDB (Remark 2) over the
+  // tallest initial tree plus the per-hop app-layer/propagation costs the
+  // analysis does not model.
+  int h_max = 0;
+  for (int g = 0; g < mg.groups(); ++g) {
+    h_max = std::max(h_max, mg.tree(g).height_hops());
+  }
+  Time delay_bound = config.churn.delay_bound;
+  if (churn_on && delay_bound <= 0.0) {
+    delay_bound = netcalc::remark2_wdb_plain(
+                      netcalc::normalize(scenario.specs, capacity), h_max) +
+                  static_cast<double>(h_max) * mean_hop_latency;
+  }
+  r.delay_bound = churn_on ? delay_bound : 0.0;
 
   // Per-host forwarding pipeline: an AdaptiveHost (regulated schemes) or a
   // bare work-conserving MUX (capacity-aware).  Only hosts that forward in
@@ -244,7 +327,11 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   auto forward = [&](std::size_t h, sim::Packet p) {
     const sim::SimContext ctx =
         engine.context_for_host(static_cast<HostId>(h));
-    const auto& children = mg.tree(p.group).children(h);
+    // Under churn the current tree lives in this kernel's replica; the
+    // static overlay::MulticastTree is only the t=0 snapshot.
+    const auto& children =
+        churn_on ? replicas[ctx.shard_index()].tree(p.group).children(h)
+                 : mg.tree(p.group).children(h);
     if (capacity_aware) {
       // One copy per child through the shared uplink MUX; the sink routes
       // each copy by its dest field.
@@ -272,16 +359,37 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
                          const sim::Packet& p) {
     ShardState& ss = shard_state[ctx.shard_index()];
     const auto h = static_cast<std::size_t>(host);
+    if (churn_on) {
+      const ChurnState& rep = replicas[ctx.shard_index()];
+      // A crashed (or departed) host silently swallows the copy — and
+      // with it everything its dark subtree would have forwarded.  Kept
+      // apart from the Gilbert-Elliott link losses below.
+      if (rep.down(h) || !rep.tree(p.group).alive(h)) {
+        ++ss.churn_losses;
+        return;
+      }
+    }
     if (loss[h] && loss[h]->drop()) {
       ++ss.losses;  // the copy (and its would-be subtree) is lost
       return;
     }
     ss.tracer.record(p, ctx.now());
+    if (churn_on && ctx.now() >= config.warmup &&
+        p.age(ctx.now()) > delay_bound) {
+      if (replicas[ctx.shard_index()].in_repair_window(ctx.now())) {
+        ++ss.violations_repair;
+      } else {
+        ++ss.violations_steady;
+      }
+    }
     if (config.collect_trace) {
       ss.trace.push_back(
           DeliveryRecord{sim::time_key(ctx.now()), p.id, p.group, host});
     }
-    if (!mg.tree(p.group).children(h).empty()) {
+    const auto& onward =
+        churn_on ? replicas[ctx.shard_index()].tree(p.group).children(h)
+                 : mg.tree(p.group).children(h);
+    if (!onward.empty()) {
       hosts[h].offer(p, ctx.now());
     }
   });
@@ -316,7 +424,10 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
         break;
       }
     }
-    if (!forwards) continue;
+    // Under churn any member can become a forwarder when a repair hands
+    // it orphans, so every host gets a pipeline up front (building one
+    // mid-run would race the packet flow and allocate on the hot path).
+    if (!forwards && !churn_on) continue;
     const sim::SimContext host_ctx =
         engine.context_for_host(static_cast<HostId>(h));
     auto sink = [&forward, h](sim::Packet p) { forward(h, std::move(p)); };
@@ -358,7 +469,10 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
       double depth_sum = 0;
       int depth_cnt = 0;
       for (int g = 0; g < mg.groups(); ++g) {
-        if (!mg.tree(g).children(h).empty()) {
+        // Churn: average over every membership — current leaves may be
+        // handed children later, and their depth barely moves under
+        // repair (splices reattach orphans at the grandparent's level).
+        if (churn_on || !mg.tree(g).children(h).empty()) {
           depth_sum += mg.tree(g).depth(h);
           ++depth_cnt;
         }
@@ -371,6 +485,21 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     }
   }
 
+  // Small-capture bridge: source sinks and re-convergence probes live in
+  // 56-byte inline-function slots, so they reach the frame state through
+  // one pointer instead of capturing it piecewise.
+  struct ChurnRuntime {
+    std::vector<HostCtx>* hosts = nullptr;
+    std::vector<ChurnState>* replicas = nullptr;
+    std::vector<ShardState>* shard_state = nullptr;
+    const overlay::MultiGroupNetwork* mg = nullptr;
+    sim::Engine* engine = nullptr;
+    Time settle = 0;
+    bool churn_on = false;
+  } rt{&hosts,  &replicas, &shard_state,
+       &mg,     &engine,   config.churn.settle_window,
+       churn_on};
+
   // Sources inject into their group's root pipeline (on the root's shard).
   for (int g = 0; g < mg.groups(); ++g) {
     const std::size_t src_host = mg.source(g);
@@ -378,12 +507,53 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
         engine.context_for_host(static_cast<HostId>(src_host));
     scenario.sources[static_cast<std::size_t>(g)]->start(
         src_ctx,
-        [&hosts, &mg, src_host, src_ctx](sim::Packet p) {
-          if (!mg.tree(p.group).children(src_host).empty()) {
-            hosts[src_host].offer(std::move(p), src_ctx.now());
+        [rtp = &rt, src_host, src_ctx](sim::Packet p) {
+          const auto& children =
+              rtp->churn_on ? (*rtp->replicas)[src_ctx.shard_index()]
+                                  .tree(p.group)
+                                  .children(src_host)
+                            : rtp->mg->tree(p.group).children(src_host);
+          if (!children.empty()) {
+            (*rtp->hosts)[src_host].offer(std::move(p), src_ctx.now());
           }
         },
         config.duration);
+  }
+
+  // Replay the fault timeline on every kernel.  Each completed repair (in
+  // Adaptive runs) schedules a probe at the end of its settle window that
+  // scans this kernel's hosts for a controller mode switch attributable
+  // to the repair — the re-convergence statistic.
+  if (churn_on) {
+    const bool probe_reconv =
+        config.regulation == RegulationScheme::Adaptive;
+    injector.set_handler([&replicas, &rt, probe_reconv](
+                             sim::SimContext ctx, const sim::FaultEvent& ev) {
+      replicas[ctx.shard_index()].apply(ev, ctx.now());
+      if (!probe_reconv ||
+          static_cast<ChurnAction>(ev.kind) == ChurnAction::HostDown) {
+        return;
+      }
+      const Time done = ctx.now();
+      ctx.schedule_at(done + rt.settle, [rtp = &rt, ctx, done] {
+        ShardState& ss = (*rtp->shard_state)[ctx.shard_index()];
+        const auto& hosts = *rtp->hosts;
+        for (std::size_t h = 0; h < hosts.size(); ++h) {
+          if (!hosts[h].regulated) continue;
+          if (rtp->engine->shard_of_host(static_cast<HostId>(h)) !=
+              ctx.shard_index()) {
+            continue;
+          }
+          const Time t = hosts[h].regulated->last_mode_switch_time();
+          if (t > done && t <= done + rtp->settle) {
+            ss.reconv_sum += t - done;
+            ss.reconv_max = std::max(ss.reconv_max, t - done);
+            ++ss.reconv_count;
+          }
+        }
+      });
+    });
+    injector.arm(engine);
   }
 
   engine.run(config.duration + 3.0);
@@ -393,10 +563,22 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   for (auto& s : shard_state) {
     merged.merge(s.tracer);
     losses += s.losses;
+    r.churn_losses += s.churn_losses;
+    r.violations_in_repair += s.violations_repair;
+    r.violations_steady += s.violations_steady;
+    r.reconvergence_max = std::max(r.reconvergence_max, s.reconv_max);
+    r.reconvergence_mean += s.reconv_sum;  // sum for now; divided below
+    r.reconvergence_samples += s.reconv_count;
     if (config.collect_trace) {
       r.trace.insert(r.trace.end(), s.trace.begin(), s.trace.end());
     }
   }
+  r.reconvergence_mean = r.reconvergence_samples > 0
+                             ? r.reconvergence_mean /
+                                   static_cast<double>(r.reconvergence_samples)
+                             : 0.0;
+  r.churn_events = churn_schedule.raw_events;
+  r.churn_repairs = churn_schedule.repairs;
   if (config.collect_trace) canonicalize(r.trace);
 
   r.utilization = config.utilization;

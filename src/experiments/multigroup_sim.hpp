@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/adaptive_host.hpp"
+#include "experiments/churn_schedule.hpp"
 #include "experiments/delivery_trace.hpp"
 #include "experiments/scenarios.hpp"
 #include "overlay/multigroup.hpp"
@@ -58,8 +59,18 @@ struct MultiGroupSimConfig {
   /// Failure injection: stationary packet-loss rate on overlay hops
   /// (0 = lossless).  Losses follow a Gilbert-Elliott bursty process with
   /// `loss_burst` mean consecutive drops, independently per overlay edge.
+  /// run_multigroup rejects loss_rate outside [0, 1] and loss_burst < 1
+  /// with std::invalid_argument.
   double loss_rate = 0.0;
   double loss_burst = 3.0;
+
+  /// Mid-run churn: joins, leaves, crashes and in-simulation tree repair
+  /// (see experiments/churn_schedule.hpp).  Disabled by default; when
+  /// enabled the knobs are validated up front.  Works on both engines —
+  /// the sharded backend installs the schedule's lookahead-epoch plan so
+  /// repairs that change the minimum cross-shard delay remap the window
+  /// width at a window boundary.
+  ChurnConfig churn;
 
   /// Which kernel runs the model.  The model is written against
   /// sim::SimContext, so the choice is purely a scale knob: Sharded
@@ -87,6 +98,25 @@ struct MultiGroupSimResult {
   int max_height_hops = 0;      ///< max tree height in hops
   std::uint64_t mode_switches = 0;  ///< Σ over hosts (Adaptive only)
 
+  // Churn telemetry (defaults when churn is disabled).
+  std::uint64_t churn_events = 0;   ///< accepted crashes + leaves + rejoins
+  std::uint64_t churn_repairs = 0;  ///< completed splices/handoffs/joins
+  /// Copies dropped because the receiving host was down (dead subtree) —
+  /// counted separately from the Gilbert-Elliott `losses`.
+  std::uint64_t churn_losses = 0;
+  /// Post-warmup deliveries whose end-to-end delay exceeded `delay_bound`,
+  /// split by whether a repair's settle window was open at arrival.
+  std::uint64_t violations_in_repair = 0;
+  std::uint64_t violations_steady = 0;
+  /// The bound the violation counters compare against (config override or
+  /// the derived Remark-2 multicast WDB plus per-hop forwarding costs).
+  Time delay_bound = 0;
+  /// Adaptive re-convergence after repairs: time from repair completion
+  /// to the controller's next mode switch inside the settle window.
+  Time reconvergence_max = 0;
+  double reconvergence_mean = 0;
+  std::uint64_t reconvergence_samples = 0;
+
   // Sharding telemetry (defaults when engine == Single).
   std::size_t shards = 1;
   std::size_t threads = 1;
@@ -96,6 +126,7 @@ struct MultiGroupSimResult {
   std::size_t cross_edges = 0;
   std::size_t total_edges = 0;
   Time lookahead = 0;
+  std::size_t lookahead_epochs = 0;  ///< plan epochs (0 = uniform lookahead)
   /// Canonical delivery trace; empty unless collect_trace.
   DeliveryTrace trace;
 };

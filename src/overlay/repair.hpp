@@ -7,14 +7,26 @@
 //
 //   leave  — the departed member's children are re-parented onto its own
 //            parent (grandparent splice).  If the root leaves, its closest
-//            child is promoted to root and adopts its siblings.
+//            child is promoted to root and adopts its siblings; if the
+//            LAST member leaves, the tree becomes empty (root() == npos)
+//            instead of throwing — mid-simulation churn schedules must
+//            never abort the run on a legal membership sequence.
 //   join   — the newcomer attaches to the RTT-closest member whose fanout
 //            is below a configurable cap (NICE's "join the nearest
-//            non-full cluster" in tree form).
+//            non-full cluster" in tree form).  Joining an empty tree
+//            makes the newcomer the root.
 //
 // Repairs operate on the member-index space of the original group;
 // removed members get a tombstone (alive() == false) so flow wiring stays
 // index-stable across a simulation.
+//
+// The in-simulation fault-injection path (experiments/churn_schedule)
+// keeps one ChurnTree replica per kernel and replays the same repair
+// sequence on each, so every mutation here is a pure function of the
+// current tree state and the RTT metric, and the steady-state mutation
+// path performs no heap allocation once the arenas are warm: leave()
+// stages orphans in a reusable scratch buffer (not a moved-out vector),
+// and reset() rebinds to a base tree inside the retained capacities.
 
 #include <cstddef>
 #include <vector>
@@ -29,9 +41,15 @@ class ChurnTree {
   /// Wrap a freshly-built tree for incremental repair.
   explicit ChurnTree(const MulticastTree& tree);
 
+  /// Warm rewind for another run: re-adopt `tree`'s structure with every
+  /// member alive again.  Reuses the existing arenas — after a first run
+  /// grew them, a reset + identical churn sequence allocates nothing.
+  void reset(const MulticastTree& tree);
+
   std::size_t size() const { return parent_.size(); }
   std::size_t alive_count() const { return alive_count_; }
   bool alive(std::size_t i) const { return alive_[i]; }
+  /// Current root; MulticastTree::npos when every member has departed.
   std::size_t root() const { return root_; }
   std::size_t parent(std::size_t i) const { return parent_[i]; }
   const std::vector<std::size_t>& children(std::size_t i) const {
@@ -40,21 +58,24 @@ class ChurnTree {
 
   /// Member `i` leaves; its children are spliced to its parent.  Root
   /// departure promotes the child with the smallest RTT to the root's
-  /// parent position.  Returns the number of re-parented members.
+  /// parent position; the last member's departure empties the tree
+  /// (root() == npos, alive_count() == 0).  Returns the number of
+  /// re-parented members.
   std::size_t leave(std::size_t i, const RttFn& rtt);
 
   /// Previously-departed member `i` re-joins, attaching to the closest
-  /// alive member with fewer than `max_fanout` children.
+  /// alive member with fewer than `max_fanout` children.  Joining an
+  /// empty tree promotes `i` to root.
   void join(std::size_t i, const RttFn& rtt, std::size_t max_fanout);
 
   /// Depth of member i in hops from the root (alive members only).
   int depth(std::size_t i) const;
 
-  /// Max depth over alive members.
+  /// Max depth over alive members (0 for an empty tree).
   int height_hops() const;
 
   /// Consistency check: every alive member reaches the root through alive
-  /// ancestors, with no cycles.
+  /// ancestors, with no cycles.  The empty tree is valid.
   bool valid() const;
 
  private:
@@ -65,6 +86,10 @@ class ChurnTree {
   std::vector<bool> alive_;
   std::size_t root_;
   std::size_t alive_count_;
+  /// Orphan staging for leave(): reused so repeated repairs do not churn
+  /// the allocator (the moved-out-vector idiom lost the capacity of
+  /// children_[i] on every departure).
+  std::vector<std::size_t> scratch_orphans_;
 };
 
 }  // namespace emcast::overlay

@@ -274,6 +274,20 @@ class Engine {
   /// SimContext::deliver call).
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+  /// Sharded only (no-op on Single — one kernel has no windows): install
+  /// a piecewise-constant lookahead plan for runs whose cross-shard edge
+  /// set changes mid-run (see ShardedSimulator::set_lookahead_plan for
+  /// the contract and the window-boundary remap rule).  Cleared by the
+  /// rebinding reset overload; retained across plain reset().
+  void set_lookahead_plan(std::vector<LookaheadEpoch> plan) {
+    if (sharded_ != nullptr) sharded_->set_lookahead_plan(std::move(plan));
+  }
+
+  /// Number of epochs in the installed plan (0 = uniform lookahead).
+  std::size_t lookahead_plan_epochs() const {
+    return sharded_ != nullptr ? sharded_->lookahead_plan().size() : 0;
+  }
+
   /// Context of kernel `shard` (0 on the single backend).
   SimContext context(std::size_t shard = 0) {
     return SimContext(&backends_[shard]);

@@ -1,0 +1,39 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::sim {
+
+void FaultInjector::set_schedule(std::vector<FaultEvent> schedule) {
+  for (const FaultEvent& ev : schedule) {
+    if (!std::isfinite(ev.at) || ev.at < 0) {
+      throw std::invalid_argument(
+          "FaultInjector: event times must be finite and >= 0");
+    }
+  }
+  std::stable_sort(
+      schedule.begin(), schedule.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  schedule_ = std::move(schedule);
+}
+
+void FaultInjector::arm(Engine& engine) {
+  if (schedule_.empty()) return;
+  for (std::size_t k = 0; k < engine.shard_count(); ++k) {
+    const SimContext ctx = engine.context(k);
+    ctx.schedule_at(schedule_.front().at, [this, ctx] { fire(ctx, 0); });
+  }
+}
+
+void FaultInjector::fire(SimContext ctx, std::size_t index) {
+  if (handler_) handler_(ctx, schedule_[index]);
+  const std::size_t next = index + 1;
+  if (next < schedule_.size()) {
+    ctx.schedule_at(schedule_[next].at,
+                    [this, ctx, next] { fire(ctx, next); });
+  }
+}
+
+}  // namespace emcast::sim

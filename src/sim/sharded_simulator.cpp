@@ -124,11 +124,65 @@ void ShardedSimulator::reset(Time lookahead) {
   // that a later keep-current reset would silently propagate.
   for (auto& s : shards_) s->reset(next_lookahead);
   config_.lookahead = next_lookahead;
+  if (!(lookahead <= 0.0)) {
+    // Explicit rebind: the installed plan was derived for the previous
+    // routing/schedule, so it dies with it.  A keep-current reset(0)
+    // retains the plan (warm re-runs of the same schedule), but the
+    // shard floors were just rewound by Shard::reset — re-lower them.
+    plan_.clear();
+  } else if (!plan_.empty()) {
+    apply_shard_floor();
+  }
   rounds_ = 0;
   events_before_run_ = 0;
   first_error_ = nullptr;
   min_key_[0].store(kInfKey, std::memory_order_relaxed);
   min_key_[1].store(kInfKey, std::memory_order_relaxed);
+}
+
+void ShardedSimulator::set_lookahead_plan(std::vector<LookaheadEpoch> plan) {
+  for (std::size_t e = 0; e < plan.size(); ++e) {
+    if (!(plan[e].lookahead > 0) || !std::isfinite(plan[e].lookahead)) {
+      throw std::invalid_argument(
+          "ShardedSimulator::set_lookahead_plan: lookahead must be > 0");
+    }
+    if (!std::isfinite(plan[e].from) ||
+        (e > 0 && !(plan[e].from > plan[e - 1].from))) {
+      throw std::invalid_argument(
+          "ShardedSimulator::set_lookahead_plan: epochs must be sorted by "
+          "strictly increasing from");
+    }
+  }
+  plan_ = std::move(plan);
+  apply_shard_floor();
+}
+
+void ShardedSimulator::apply_shard_floor() {
+  // While a plan is installed, Shard::post's assert floor (and
+  // SimContext::lookahead()) is the weakest epoch guarantee; the per-epoch
+  // contract itself is the model's (documented in set_lookahead_plan).
+  Time floor = config_.lookahead;
+  for (const LookaheadEpoch& e : plan_) floor = std::min(floor, e.lookahead);
+  for (auto& s : shards_) s->lookahead_ = floor;
+}
+
+Time ShardedSimulator::window_end(Time tmin) const {
+  Time w = tmin + config_.lookahead;
+  if (!plan_.empty()) {
+    // Epoch in force at tmin: the last entry with from <= tmin (the
+    // construction lookahead covers times before the first epoch).
+    auto it = std::upper_bound(
+        plan_.begin(), plan_.end(), tmin,
+        [](Time t, const LookaheadEpoch& e) { return t < e.from; });
+    if (it != plan_.begin()) w = tmin + std::prev(it)->lookahead;
+    // Remap at the window boundary: an epoch starting inside the window
+    // caps it at b + L(b), so no post made under the old regime can land
+    // inside a window that already runs under the new one.
+    for (; it != plan_.end() && it->from < w; ++it) {
+      w = std::min(w, it->from + it->lookahead);
+    }
+  }
+  return w;
 }
 
 void ShardedSimulator::record_error() noexcept {
@@ -189,7 +243,7 @@ void ShardedSimulator::worker_rounds(std::size_t t, Time until) {
     if (kmin == kInfKey) break;  // all shards drained, nothing in flight
     const Time tmin = key_time(kmin);
     if (tmin > until) break;  // horizon reached; beyond-horizon events stay
-    Time w = tmin + config_.lookahead;
+    Time w = window_end(tmin);
     if (!(w > tmin)) w = std::nextafter(tmin, kTimeInfinity);
     w = std::min(w, horizon_bound);
 

@@ -51,6 +51,19 @@
 
 namespace emcast::sim {
 
+/// One epoch of a piecewise-constant lookahead plan (see
+/// ShardedSimulator::set_lookahead_plan): from simulated time `from`
+/// onwards — until the next epoch — every cross-shard interaction takes
+/// at least `lookahead` of simulated time.
+struct LookaheadEpoch {
+  Time from = 0;
+  Time lookahead = 0;
+
+  friend bool operator==(const LookaheadEpoch& a, const LookaheadEpoch& b) {
+    return a.from == b.from && a.lookahead == b.lookahead;
+  }
+};
+
 struct ShardedConfig {
   std::size_t shards = 2;
   /// Worker threads; 0 = min(shards, hardware_concurrency).  Purely a
@@ -103,6 +116,35 @@ class ShardedSimulator {
   /// allocates.
   void reset(Time lookahead = 0.0);
 
+  /// Install a piecewise-constant lookahead plan for subsequent runs —
+  /// the epoch-based remap used by churn experiments whose cross-shard
+  /// edge set changes mid-run (tree repairs add and remove edges, so the
+  /// minimum cross-shard delay is a step function of simulated time).
+  ///
+  /// Contract: during epoch e (from plan[e].from until plan[e+1].from),
+  /// every cross-shard post() issued at time u has deliver_at >=
+  /// u + plan[e].lookahead; before plan.front().from the construction
+  /// lookahead applies.  The window scheduler then derives each window as
+  ///
+  ///   w = min(tmin + L(tmin),  min over epoch starts b in (tmin, w) of
+  ///                            b + L(b))
+  ///
+  /// — a pure function of (tmin, plan), so the remap happens at a window
+  /// boundary, identically on every worker thread, and determinism across
+  /// shard/thread counts is untouched.  Safety: any post at u < w
+  /// satisfies deliver_at >= u + L(u) >= w by the clamping above.
+  ///
+  /// Epochs must be sorted by strictly increasing `from`, with every
+  /// lookahead finite and > 0.  Each shard's post()-assert floor becomes
+  /// min(construction lookahead, min over plan) while the plan is
+  /// installed.  An empty plan restores uniform-lookahead behaviour.
+  /// reset() with an explicit (positive) lookahead — the rebind seam the
+  /// Engine's remap overload drives — clears the plan, since it was
+  /// derived for the old routing; a keep-current reset(0) retains it, so
+  /// warm re-runs of the same schedule re-install nothing.
+  void set_lookahead_plan(std::vector<LookaheadEpoch> plan);
+  const std::vector<LookaheadEpoch>& lookahead_plan() const { return plan_; }
+
   // -- telemetry ----------------------------------------------------------
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t events_executed() const;
@@ -113,8 +155,13 @@ class ShardedSimulator {
   void worker(std::size_t t, Time until);
   void worker_rounds(std::size_t t, Time until);
   void record_error() noexcept;
+  Time window_end(Time tmin) const;
+  void apply_shard_floor();
 
   ShardedConfig config_;
+  /// Piecewise lookahead plan (empty = uniform config_.lookahead).
+  /// Immutable while run() is in flight; workers only read it.
+  std::vector<LookaheadEpoch> plan_;
   std::size_t threads_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardMsgHandler handler_;

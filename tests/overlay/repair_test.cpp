@@ -90,6 +90,53 @@ TEST(ChurnTree, RejectsBadOperations) {
   EXPECT_THROW(t.leave(3, line_rtt()), std::invalid_argument);  // departed
 }
 
+TEST(ChurnTree, LastMemberLeaveEmptiesTree) {
+  // Mid-simulation churn can drain a group entirely; that must be a
+  // well-defined empty state, not an exception or UB.
+  ChurnTree t(small_tree());
+  const auto rtt = line_rtt();
+  for (const std::size_t h : {3u, 4u, 5u, 1u, 2u, 0u}) t.leave(h, rtt);
+  EXPECT_EQ(t.alive_count(), 0u);
+  EXPECT_EQ(t.root(), MulticastTree::npos);
+  EXPECT_TRUE(t.valid()) << "empty tree must count as valid";
+}
+
+TEST(ChurnTree, JoinIntoEmptyTreeBecomesRoot) {
+  ChurnTree t(small_tree());
+  const auto rtt = line_rtt();
+  for (const std::size_t h : {3u, 4u, 5u, 1u, 2u, 0u}) t.leave(h, rtt);
+  t.join(4, rtt, 8);
+  EXPECT_EQ(t.alive_count(), 1u);
+  EXPECT_EQ(t.root(), 4u);
+  EXPECT_TRUE(t.alive(4));
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(ChurnTree, DrainAndRefillStaysSpanning) {
+  ChurnTree t(small_tree());
+  const auto rtt = line_rtt();
+  for (const std::size_t h : {0u, 1u, 2u, 3u, 4u, 5u}) t.leave(h, rtt);
+  for (const std::size_t h : {5u, 0u, 3u, 1u, 4u, 2u}) {
+    t.join(h, rtt, 2);
+    ASSERT_TRUE(t.valid()) << "after rejoining " << h;
+  }
+  EXPECT_EQ(t.alive_count(), 6u);
+  EXPECT_EQ(t.root(), 5u) << "first member back became the root";
+}
+
+TEST(ChurnTree, ResetRebindsToTreeSnapshot) {
+  ChurnTree t(small_tree());
+  const auto rtt = line_rtt();
+  t.leave(1, rtt);
+  t.leave(5, rtt);
+  ASSERT_EQ(t.alive_count(), 4u);
+  t.reset(small_tree());
+  EXPECT_EQ(t.alive_count(), 6u);
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.parent(3), 1u);
+  EXPECT_TRUE(t.valid());
+}
+
 TEST(ChurnTree, SurvivesHeavyChurnOnLargeTree) {
   // Property: random interleaved leaves/joins never break validity and the
   // height stays within a constant factor of the original.

@@ -1,0 +1,132 @@
+// Property sweep over churn sequences: after ANY valid interleaving of
+// leaves, crashes-as-leaves and rejoins — generated from seeded random
+// walks across tree families, sizes and fanout caps — the ChurnTree must
+// remain a spanning tree over exactly the alive members, keep a bounded
+// height, and agree with its own valid() verdict at every step.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "overlay/dsct.hpp"
+#include "overlay/nice.hpp"
+#include "overlay/repair.hpp"
+#include "util/rng.hpp"
+
+namespace emcast::overlay {
+namespace {
+
+struct ChurnCase {
+  std::size_t members;
+  bool nice;        ///< NICE family instead of DSCT
+  double leave_bias;  ///< probability a step is a departure
+  std::size_t fanout;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<ChurnCase>& info) {
+  const auto& c = info.param;
+  return std::string(c.nice ? "nice" : "dsct") + std::to_string(c.members) +
+         "_bias" + std::to_string(static_cast<int>(c.leave_bias * 100)) +
+         "_fan" + std::to_string(c.fanout) + "_seed" +
+         std::to_string(c.seed);
+}
+
+/// Independent spanning-tree check (does not trust ChurnTree::valid):
+/// every alive member reaches the root by parent pointers without cycles,
+/// and parent/children views agree.
+bool spanning_over_alive(const ChurnTree& t) {
+  const std::size_t n = t.size();
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!t.alive(i)) continue;
+    ++alive;
+    std::size_t hops = 0;
+    std::size_t at = i;
+    while (at != t.root()) {
+      const std::size_t p = t.parent(at);
+      if (p == MulticastTree::npos || !t.alive(p) || ++hops > n) return false;
+      const auto& siblings = t.children(p);
+      if (std::find(siblings.begin(), siblings.end(), at) == siblings.end()) {
+        return false;
+      }
+      at = p;
+    }
+  }
+  if (alive == 0) return t.root() == MulticastTree::npos;
+  return t.alive(t.root()) && t.parent(t.root()) == MulticastTree::npos &&
+         alive == t.alive_count();
+}
+
+class ChurnTreeProperty : public testing::TestWithParam<ChurnCase> {};
+
+TEST_P(ChurnTreeProperty, AnyChurnSequencePreservesTheInvariants) {
+  const auto c = GetParam();
+  std::vector<Member> members(c.members);
+  std::vector<int> domain(c.members);
+  for (std::size_t i = 0; i < c.members; ++i) {
+    members[i] = Member{i, static_cast<NodeId>(i)};
+    domain[i] = static_cast<int>(i % 7);
+  }
+  RttFn rtt = [](std::size_t a, std::size_t b) {
+    return a > b ? static_cast<Time>(a - b) : static_cast<Time>(b - a);
+  };
+  MulticastTree base = [&] {
+    if (c.nice) {
+      NiceConfig nc;
+      nc.seed = c.seed;
+      return build_nice(members, rtt, 0, nc);
+    }
+    DsctConfig dc;
+    dc.seed = c.seed;
+    return build_dsct(members, domain, rtt, 0, dc);
+  }();
+  ChurnTree t(base);
+  const int base_height = std::max(t.height_hops(), 1);
+
+  util::Rng rng(c.seed * 7919 + 1);
+  std::vector<std::size_t> departed;
+  for (int step = 0; step < 400; ++step) {
+    const bool can_leave = t.alive_count() > 0;
+    const bool do_leave =
+        can_leave && (departed.empty() || rng.uniform() < c.leave_bias);
+    if (do_leave) {
+      std::size_t victim;
+      do {
+        victim = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(c.members) - 1));
+      } while (!t.alive(victim));
+      t.leave(victim, rtt);
+      departed.push_back(victim);
+    } else {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(departed.size()) - 1));
+      const std::size_t member = departed[pick];
+      departed.erase(departed.begin() + static_cast<std::ptrdiff_t>(pick));
+      t.join(member, rtt, c.fanout);
+    }
+    ASSERT_TRUE(spanning_over_alive(t)) << "step " << step;
+    ASSERT_TRUE(t.valid()) << "valid() disagrees at step " << step;
+    // Height bound: repairs reattach orphans near the grandparent and
+    // joins pick closest-non-full, so height cannot blow past a constant
+    // factor of the built tree plus the churn depth.
+    ASSERT_LE(t.height_hops(), 4 * base_height + 8) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChurnTreeProperty,
+    testing::Values(
+        ChurnCase{40, false, 0.55, 4, 3},
+        ChurnCase{40, true, 0.55, 4, 3},
+        ChurnCase{120, false, 0.70, 8, 17},
+        ChurnCase{120, true, 0.40, 2, 17},
+        // Drain-heavy: bias so high the tree empties repeatedly.
+        ChurnCase{25, false, 0.97, 8, 29},
+        ChurnCase{80, false, 0.55, 1, 41}),
+    case_name);
+
+}  // namespace
+}  // namespace emcast::overlay

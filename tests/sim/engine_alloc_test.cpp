@@ -12,8 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include "overlay/repair.hpp"
 #include "sim/context.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
 
@@ -369,6 +371,96 @@ TEST(EngineAllocation, ShardedEngineResetSecondRunIsAllocationFree) {
       << "the warm rerun replays the identical schedule";
   EXPECT_GT(engine.messages_spilled(), 0u)
       << "the second run must exercise the spill path again";
+}
+
+TEST(EngineAllocation, ChurnReplayWarmRerunIsAllocationFree) {
+  // The steady-state churn path (PR 6): FaultInjector chain events firing
+  // on every kernel, each applying ChurnTree repairs (leave's grandparent
+  // splice, join's closest-non-full attach) to its per-kernel replica,
+  // while cross-shard volley traffic keeps the mailbox machinery hot.
+  // The schedule, handler and RTT oracle are built ONCE at setup; after a
+  // warm run, Engine::reset + ChurnTree::reset + re-arm + an identical
+  // second run must allocate nothing — repairs mutate entirely inside
+  // retained arenas.
+  EngineConfig ec;
+  ec.kind = EngineKind::Sharded;
+  ec.shards = 2;
+  ec.threads = 1;
+  ec.lookahead = 0.5;
+  ec.mailbox_capacity = 4;
+  ec.shard_of = {0, 0, 1, 1};
+  Engine engine(ec);
+
+  constexpr auto npos = overlay::MulticastTree::npos;
+  std::vector<overlay::Member> members(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    members[i] = overlay::Member{i, static_cast<NodeId>(i)};
+  }
+  //  0 - 1 - 2 - 3 chain: leaving 1 or 2 splices, rejoining re-attaches.
+  const overlay::MulticastTree base(members, {npos, 0, 1, 2}, 0, 4);
+  std::vector<overlay::ChurnTree> replicas{overlay::ChurnTree(base),
+                                           overlay::ChurnTree(base)};
+  const overlay::RttFn rtt = [](std::size_t a, std::size_t b) {
+    return a > b ? static_cast<Time>(a - b) : static_cast<Time>(b - a);
+  };
+  // Alternating leave/join of hosts 3 and 2 across the whole run.
+  std::vector<FaultEvent> timeline;
+  for (int i = 0; i < 40; ++i) {
+    timeline.push_back(FaultEvent{0.45 * i + 0.2,
+                                  static_cast<std::uint32_t>(i % 2),
+                                  static_cast<std::int32_t>(3 - (i / 2) % 2)});
+  }
+  FaultInjector injector;
+  injector.set_schedule(std::move(timeline));
+  injector.set_handler([&replicas, &rtt](SimContext ctx,
+                                         const FaultEvent& ev) {
+    overlay::ChurnTree& t = replicas[ctx.shard_index()];
+    const auto h = static_cast<std::size_t>(ev.subject);
+    if (ev.kind == 0) {
+      if (t.alive(h)) t.leave(h, rtt);
+    } else if (!t.alive(h)) {
+      t.join(h, rtt, 2);
+    }
+  });
+
+  engine.set_deliver([](SimContext ctx, HostId host, const Packet& p) {
+    if (p.id == 1 && ctx.now() < 18.0) {
+      Packet copy = p;
+      copy.id = 0;
+      ctx.deliver(host, copy, ctx.now() + 0.125);
+      const HostId remote = host < 2 ? 2 : 0;
+      for (int i = 0; i < 6; ++i) {  // burst > ring capacity: spills
+        copy.id = i == 0 ? 1 : 0;
+        ctx.deliver(remote, copy, ctx.now() + ctx.lookahead());
+      }
+    }
+  });
+  auto kick = [&engine] {
+    SimContext s0 = engine.context(0);
+    s0.schedule_at(0.0, [s0] {
+      Packet p;
+      p.id = 1;
+      s0.deliver(2, p, s0.now() + 0.5);
+    });
+    engine.run(20.0);
+  };
+  injector.arm(engine);
+  kick();  // warm-up run grows every arena (trees' scratch included)
+  ASSERT_GT(engine.messages_posted(), 0u);
+  for (const auto& t : replicas) ASSERT_TRUE(t.valid());
+
+  const std::size_t before = g_allocations.load();
+  engine.reset();
+  for (auto& t : replicas) t.reset(base);
+  injector.arm(engine);
+  kick();
+  EXPECT_EQ(g_allocations.load(), before)
+      << "warm churn replay (reset + re-arm + repairs) must not allocate";
+  for (const auto& t : replicas) {
+    EXPECT_TRUE(t.valid());
+    EXPECT_EQ(t.alive_count(), replicas[0].alive_count())
+        << "replicas diverged";
+  }
 }
 
 TEST(EngineAllocation, SimulatorEventLoopIsAllocationFree) {

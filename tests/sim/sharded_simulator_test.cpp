@@ -205,5 +205,81 @@ TEST(ShardedSimulator, ModelExceptionPropagatesWithoutDeadlock) {
   EXPECT_THROW(sharded.run(100.0), std::runtime_error);
 }
 
+TEST(ShardedSimulator, LookaheadPlanValidatesItsEpochs) {
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 0.5;
+  sim::ShardedSimulator sharded(cfg);
+  EXPECT_THROW(
+      sharded.set_lookahead_plan({{0.0, 0.5}, {1.0, 0.0}}),  // zero width
+      std::invalid_argument);
+  EXPECT_THROW(
+      sharded.set_lookahead_plan({{1.0, 0.5}, {1.0, 0.25}}),  // not increasing
+      std::invalid_argument);
+  EXPECT_NO_THROW(sharded.set_lookahead_plan({{0.0, 0.5}, {2.0, 0.25}}));
+  EXPECT_EQ(sharded.lookahead_plan().size(), 2u);
+}
+
+TEST(ShardedSimulator, LookaheadPlanChangesWindowWidthMidRun) {
+  // Same ping-pong as above, but the plan narrows the lookahead from 0.5
+  // to 0.25 at t = 2.0.  The posts follow the epoch in force at post time
+  // (deliver_at = now + current epoch's lookahead), so every arrival must
+  // still land at its exact stamped time — and the volley visibly speeds
+  // up after the boundary.
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 2;
+  cfg.lookahead = 0.25;  // uniform floor: min over the plan
+  sim::ShardedSimulator sharded(cfg);
+  sharded.set_lookahead_plan({{0.0, 0.5}, {2.0, 0.25}});
+
+  auto epoch_lookahead = [](Time now) { return now < 2.0 ? 0.5 : 0.25; };
+  std::vector<Time> arrivals[2];
+  sharded.set_message_handler(
+      [&arrivals, epoch_lookahead](sim::Shard& shard,
+                                   const sim::CrossShardMsg& m) {
+        shard.sim().schedule_at(
+            m.deliver_at, [&arrivals, epoch_lookahead, &shard, m] {
+              arrivals[shard.index()].push_back(shard.now());
+              if (shard.now() < 4.0) {
+                shard.post(1 - shard.index(), m.packet, m.dest_host,
+                           shard.now() + epoch_lookahead(shard.now()));
+              }
+            });
+      });
+  sharded.shard(0).sim().schedule_at(0.0, [&sharded] {
+    sim::Packet p;
+    p.id = 1;
+    sharded.shard(0).post(1, p, 0, sharded.shard(0).now() + 0.5);
+  });
+  sharded.run(10.0);
+
+  // Bounces at 0.5, 1.0, 1.5, 2.0 (0.5 spacing), then 2.25, 2.5, ...
+  std::vector<Time> all;
+  all.insert(all.end(), arrivals[0].begin(), arrivals[0].end());
+  all.insert(all.end(), arrivals[1].begin(), arrivals[1].end());
+  std::sort(all.begin(), all.end());
+  std::vector<Time> expected;
+  for (Time t = 0.5; t < 2.0 + 1e-9; t += 0.5) expected.push_back(t);
+  for (Time t = 2.25; t <= 4.0 + 1e-9; t += 0.25) expected.push_back(t);
+  ASSERT_EQ(all.size(), expected.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_DOUBLE_EQ(all[i], expected[i]) << "bounce " << i;
+  }
+}
+
+TEST(ShardedSimulator, ExplicitLookaheadResetClearsThePlan) {
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 0.25;
+  sim::ShardedSimulator sharded(cfg);
+  sharded.set_lookahead_plan({{0.0, 0.5}, {2.0, 0.25}});
+  ASSERT_EQ(sharded.lookahead_plan().size(), 2u);
+  sharded.reset(0.0);  // keep-current reset: plan survives for a rerun
+  EXPECT_EQ(sharded.lookahead_plan().size(), 2u);
+  sharded.reset(0.3);  // rebind seam: a new run means a new plan
+  EXPECT_TRUE(sharded.lookahead_plan().empty());
+}
+
 }  // namespace
 }  // namespace emcast
