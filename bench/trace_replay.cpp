@@ -1,0 +1,140 @@
+// Trace replay vs live synthesis A/B (PR 7).
+//
+// Replaying a recorded trace must stay comparable to generating the same
+// workload live: the replay path is varint pointer-walking plus one event
+// per distinct timestamp (no RNG draws), but each multigroup run pays a
+// per-source construction scan and group-filter decode over the shared
+// trace.  Both sides of each twin run in the same session, so the pair
+// ratio is runner-speed immune — the gate (bench_compare.py --ab-suffix
+// Synthetic) pins the ratio against the snapshot, catching a replay-path
+// regression regardless of which side is nominally ahead.
+//
+// BM_TraceSourceEmit / BM_TraceSourceEmitSynthetic: the source in
+// isolation over a bare Simulator (an on-off audio flow, recorded once at
+// setup, then replayed vs regenerated).  BM_TraceReplayMultigroup /
+// BM_TraceReplayMultigroupSynthetic: the full regulated multigroup model
+// with trace-driven vs live sources; the argument is the host count (48 =
+// short-run sweep regime, 96 = differential-suite size), warm engine slot
+// on both sides so the twins isolate the source machinery, not setup.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "experiments/multigroup_sim.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/onoff_audio_source.hpp"
+#include "traffic/trace_format.hpp"
+#include "traffic/trace_recorder.hpp"
+#include "traffic/trace_source.hpp"
+
+namespace {
+
+using namespace emcast;
+using namespace emcast::experiments;
+
+constexpr Time kMicroHorizon = 5.0;
+
+traffic::OnOffAudioConfig micro_config() {
+  traffic::OnOffAudioConfig cfg;
+  cfg.seed = 21;
+  return cfg;
+}
+
+const traffic::TraceBuffer& micro_trace() {
+  static const traffic::TraceBuffer trace = [] {
+    traffic::OnOffAudioSource src(micro_config());
+    traffic::TraceWriter w;
+    sim::Simulator sim;
+    src.start(sim,
+              [&](sim::Packet p) { w.append(p.created, p.size, p.flow, p.group); },
+              kMicroHorizon);
+    sim.run(kMicroHorizon + 1.0);
+    return traffic::TraceBuffer(w.finish());
+  }();
+  return trace;
+}
+
+void BM_TraceSourceEmit(benchmark::State& state) {
+  traffic::TraceSourceConfig cfg;
+  cfg.trace = &micro_trace();
+  traffic::TraceSource src(cfg);  // restartable: one scan, many replays
+  sim::Simulator sim;
+  std::int64_t packets = 0;
+  for (auto _ : state) {
+    sim.reset_discarding();
+    src.start(sim, [&packets](sim::Packet) { ++packets; }, kMicroHorizon);
+    sim.run(kMicroHorizon + 1.0);
+  }
+  state.SetItemsProcessed(packets);
+}
+BENCHMARK(BM_TraceSourceEmit)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceSourceEmitSynthetic(benchmark::State& state) {
+  sim::Simulator sim;
+  std::int64_t packets = 0;
+  for (auto _ : state) {
+    traffic::OnOffAudioSource src(micro_config());
+    sim.reset_discarding();
+    src.start(sim, [&packets](sim::Packet) { ++packets; }, kMicroHorizon);
+    sim.run(kMicroHorizon + 1.0);
+  }
+  state.SetItemsProcessed(packets);
+}
+BENCHMARK(BM_TraceSourceEmitSynthetic)->Unit(benchmark::kMicrosecond);
+
+MultiGroupSimConfig bench_config(std::size_t hosts) {
+  MultiGroupSimConfig c;
+  c.kind = TrafficKind::Audio;
+  c.regulation = RegulationScheme::SigmaRho;
+  c.utilization = 0.6;
+  c.hosts = hosts;
+  c.duration = 0.6;
+  c.warmup = 0.1;
+  c.seed = 7;
+  return c;
+}
+
+void run_twin(benchmark::State& state, bool replay) {
+  const auto cfg = bench_config(static_cast<std::size_t>(state.range(0)));
+  // Record the workload once at setup; the replay side then runs the
+  // identical emissions through TraceSources.
+  traffic::TraceRecorder rec(static_cast<std::size_t>(cfg.groups));
+  std::unique_ptr<traffic::TraceBuffer> trace;
+  auto replayed = cfg;
+  if (replay) {
+    auto recording = cfg;
+    recording.record = &rec;
+    run_multigroup(recording);
+    trace = std::make_unique<traffic::TraceBuffer>(rec.bytes());
+    replayed.replay = trace.get();
+  }
+  std::unique_ptr<sim::Engine> slot;  // warm across iterations
+  std::int64_t deliveries = 0;
+  for (auto _ : state) {
+    const auto r = run_multigroup(replayed, slot);
+    deliveries += static_cast<std::int64_t>(r.deliveries);
+    benchmark::DoNotOptimize(r.worst_case_delay);
+  }
+  state.SetItemsProcessed(deliveries);
+}
+
+void BM_TraceReplayMultigroup(benchmark::State& state) {
+  run_twin(state, true);
+}
+BENCHMARK(BM_TraceReplayMultigroup)
+    ->Arg(48)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceReplayMultigroupSynthetic(benchmark::State& state) {
+  run_twin(state, false);
+}
+BENCHMARK(BM_TraceReplayMultigroupSynthetic)
+    ->Arg(48)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "experiments/multigroup_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 #include <map>
 #include <memory>
@@ -15,6 +16,8 @@
 #include "sim/pending_entry.hpp"
 #include "sim/tracer.hpp"
 #include "topology/backbone.hpp"
+#include "traffic/trace_recorder.hpp"
+#include "traffic/trace_source.hpp"
 
 namespace emcast::experiments {
 
@@ -111,6 +114,18 @@ ShardedMultigroupEngine sharded_engine_config(
   return setup;
 }
 
+std::uint64_t workload_fingerprint(const MultiGroupSimConfig& config) {
+  std::uint64_t h = traffic::trace_fingerprint_seed();
+  h = traffic::trace_fingerprint_mix(
+      h, static_cast<std::uint64_t>(config.kind));
+  h = traffic::trace_fingerprint_mix(
+      h, static_cast<std::uint64_t>(config.groups));
+  h = traffic::trace_fingerprint_mix(h, config.seed);
+  h = traffic::trace_fingerprint_mix(
+      h, std::bit_cast<std::uint64_t>(config.duration));
+  return h;
+}
+
 TreeStructureResult evaluate_trees(const MultiGroupSimConfig& config) {
   const auto mg = build_trees(config);
   TreeStructureResult r;
@@ -142,6 +157,11 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
         "run_multigroup: loss_burst must be >= 1 (mean burst length)");
   }
   if (config.churn.enabled) config.churn.validate();
+  if (config.record != nullptr &&
+      config.record->lanes() < static_cast<std::size_t>(config.groups)) {
+    throw std::invalid_argument(
+        "run_multigroup: recorder needs one lane per group");
+  }
 
   const auto mg = build_trees(config);
   const std::size_t n = mg.host_count();
@@ -501,13 +521,34 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
        churn_on};
 
   // Sources inject into their group's root pipeline (on the root's shard).
+  // In replay mode the scenario's live sources are left unstarted and a
+  // TraceSource per group (filtered to that group's records) is started in
+  // their place; everything downstream — regulator specs, trees, capacity —
+  // came from the identical scenario construction above, so the replay's
+  // pipeline is the live run's pipeline.  The recorder hook captures every
+  // emission (live or replayed) at this boundary, before loss/churn/MUX.
+  if (config.record != nullptr) {
+    config.record->set_identity(config.seed, workload_fingerprint(config));
+  }
+  std::vector<std::unique_ptr<traffic::TraceSource>> replay_sources;
   for (int g = 0; g < mg.groups(); ++g) {
     const std::size_t src_host = mg.source(g);
     const sim::SimContext src_ctx =
         engine.context_for_host(static_cast<HostId>(src_host));
-    scenario.sources[static_cast<std::size_t>(g)]->start(
+    traffic::Source* source = scenario.sources[static_cast<std::size_t>(g)].get();
+    if (config.replay != nullptr) {
+      traffic::TraceSourceConfig tc;
+      tc.trace = config.replay;
+      tc.group = static_cast<GroupId>(g);
+      replay_sources.push_back(std::make_unique<traffic::TraceSource>(tc));
+      source = replay_sources.back().get();
+    }
+    source->start(
         src_ctx,
-        [rtp = &rt, src_host, src_ctx](sim::Packet p) {
+        [rtp = &rt, src_host, src_ctx, rec = config.record](sim::Packet p) {
+          if (rec != nullptr) {
+            rec->record(static_cast<std::size_t>(p.group), src_ctx.now(), p);
+          }
           const auto& children =
               rtp->churn_on ? (*rtp->replicas)[src_ctx.shard_index()]
                                   .tree(p.group)

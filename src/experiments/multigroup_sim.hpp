@@ -22,6 +22,11 @@
 #include "topology/host_attachment.hpp"
 #include "util/types.hpp"
 
+namespace emcast::traffic {
+class TraceBuffer;
+class TraceRecorder;
+}  // namespace emcast::traffic
+
 namespace emcast::experiments {
 
 enum class RegulationScheme {
@@ -71,6 +76,23 @@ struct MultiGroupSimConfig {
   /// repairs that change the minimum cross-shard delay remap the window
   /// width at a window boundary.
   ChurnConfig churn;
+
+  /// Trace-driven workload (record/compress/replay, see
+  /// docs/workloads.md).  When `replay` is set, each group's source is a
+  /// traffic::TraceSource over this buffer (filtered to the group's
+  /// records) instead of the scenario's live synthetic source.  Scenario
+  /// construction — the regulator (σ, ρ) specs, envelope calibration and
+  /// the capacity derived from the utilisation — is unchanged, so a trace
+  /// recorded from an identically-configured live run replays it with a
+  /// byte-identical canonical DeliveryTrace on every engine.  Non-owning;
+  /// must outlive the run.
+  const traffic::TraceBuffer* replay = nullptr;
+  /// Source-boundary recorder hook: every live (or replayed) source
+  /// emission is captured into lane `group` of this recorder — the
+  /// recorder must have at least `groups` lanes.  run_multigroup stamps
+  /// the recorder's identity (config seed + workload fingerprint) before
+  /// the run.  Non-owning; must outlive the run.
+  traffic::TraceRecorder* record = nullptr;
 
   /// Which kernel runs the model.  The model is written against
   /// sim::SimContext, so the choice is purely a scale knob: Sharded
@@ -132,6 +154,12 @@ struct MultiGroupSimResult {
 };
 
 MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config);
+
+/// Fingerprint of the knobs that define the source emissions (traffic
+/// kind, group count, seed, duration) — stamped into recorded trace
+/// headers so a replay's provenance is checkable against the config that
+/// produced it.
+std::uint64_t workload_fingerprint(const MultiGroupSimConfig& config);
 
 /// Warm-reuse entry point: `engine_slot` caches a sim::Engine across
 /// calls.  An empty slot (or one whose kind/shards/threads/

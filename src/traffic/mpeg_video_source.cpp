@@ -8,8 +8,17 @@ namespace emcast::traffic {
 
 MpegVideoSource::MpegVideoSource(const MpegVideoConfig& config)
     : config_(config), rng_(config.seed) {
-  if (config.mean_rate <= 0 || config.frame_rate <= 0) {
-    throw std::invalid_argument("MpegVideoSource: bad config");
+  if (config.mean_rate <= 0) {
+    throw std::invalid_argument("MpegVideoSource: mean_rate must be > 0");
+  }
+  if (config.frame_rate <= 0) {
+    throw std::invalid_argument("MpegVideoSource: frame_rate must be > 0");
+  }
+  if (config.packet_size <= 0) {
+    throw std::invalid_argument("MpegVideoSource: packet_size must be > 0");
+  }
+  if (config.i_ratio <= 0 || config.p_ratio <= 0 || config.b_ratio <= 0) {
+    throw std::invalid_argument("MpegVideoSource: frame ratios must be > 0");
   }
   frame_interval_ = 1.0 / config.frame_rate;
   // Mean bits per frame = rate / fps; ratio mass of one GoP:

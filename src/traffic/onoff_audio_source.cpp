@@ -6,8 +6,17 @@ namespace emcast::traffic {
 
 OnOffAudioSource::OnOffAudioSource(const OnOffAudioConfig& config)
     : config_(config), rng_(config.seed) {
-  if (config.mean_rate <= 0 || config.mean_on <= 0 || config.mean_off < 0) {
-    throw std::invalid_argument("OnOffAudioSource: bad config");
+  if (config.mean_rate <= 0) {
+    throw std::invalid_argument("OnOffAudioSource: mean_rate must be > 0");
+  }
+  if (config.packet_size <= 0) {
+    throw std::invalid_argument("OnOffAudioSource: packet_size must be > 0");
+  }
+  if (config.mean_on <= 0) {
+    throw std::invalid_argument("OnOffAudioSource: mean_on must be > 0");
+  }
+  if (config.mean_off < 0) {
+    throw std::invalid_argument("OnOffAudioSource: mean_off must be >= 0");
   }
   const double duty = config.mean_on / (config.mean_on + config.mean_off);
   peak_rate_ = config.mean_rate / duty;

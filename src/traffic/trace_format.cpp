@@ -1,0 +1,263 @@
+#include "traffic/trace_format.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace emcast::traffic {
+namespace {
+
+// -- primitive codecs -------------------------------------------------------
+// LEB128 varints; zigzag for the signed flow/group ids.  These are the
+// byte-level contract shared with tools/make_trace.py — change them only
+// with a format version bump (the golden-bytes test pins both sides).
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Bounded decode; returns false on overrun or an over-long encoding.
+bool get_varint(const std::uint8_t*& pos, const std::uint8_t* end,
+                std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos == end) return false;
+    const std::uint8_t byte = *pos++;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+// -- TraceWriter ------------------------------------------------------------
+
+void TraceWriter::append(Time t, Bits size, FlowId flow, GroupId group) {
+  const std::uint64_t key = sim::time_key(t);
+  if (records_ > 0 && key < prev_key_) {
+    throw std::invalid_argument(
+        "TraceWriter::append: records must be in non-decreasing time order");
+  }
+  const auto size_image = std::bit_cast<std::uint64_t>(size);
+  put_varint(payload_, key - (records_ > 0 ? prev_key_ : 0));
+  put_varint(payload_, size_image ^ prev_size_image_);
+  put_varint(payload_, zigzag(flow));
+  put_varint(payload_, zigzag(group));
+  prev_key_ = key;
+  prev_size_image_ = size_image;
+  ++records_;
+}
+
+std::vector<std::uint8_t> TraceWriter::finish() const {
+  std::vector<std::uint8_t> out(kTraceHeaderBytes);
+  put_u32(out.data(), kTraceMagic);
+  put_u16(out.data() + 4, kTraceVersion);
+  put_u16(out.data() + 6, 0);  // flags, reserved
+  put_u64(out.data() + 8, seed_);
+  put_u64(out.data() + 16, fingerprint_);
+  put_u64(out.data() + 24, records_);
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+void TraceWriter::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = finish();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    throw std::invalid_argument("TraceWriter: cannot open " + path);
+  }
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) {
+    throw std::invalid_argument("TraceWriter: short write to " + path);
+  }
+}
+
+// -- TraceBuffer ------------------------------------------------------------
+
+TraceBuffer::TraceBuffer(std::vector<std::uint8_t> bytes)
+    : owned_(std::move(bytes)), data_(owned_.data()), size_(owned_.size()) {
+  validate();
+}
+
+TraceBuffer TraceBuffer::load(const std::string& path) {
+  TraceBuffer buffer;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base != MAP_FAILED) {
+        buffer.mapped_ = base;
+        buffer.mapped_size_ = static_cast<std::size_t>(st.st_size);
+        buffer.data_ = static_cast<const std::uint8_t*>(base);
+        buffer.size_ = buffer.mapped_size_;
+      }
+    }
+    ::close(fd);
+  }
+  if (buffer.data_ == nullptr) {
+    // Preloaded-buffer fallback (also the path for empty/unmappable files;
+    // a missing file fails here with a clear message).
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      throw std::invalid_argument("TraceBuffer::load: cannot open " + path);
+    }
+    buffer.owned_.assign(std::istreambuf_iterator<char>(f),
+                         std::istreambuf_iterator<char>());
+    buffer.data_ = buffer.owned_.data();
+    buffer.size_ = buffer.owned_.size();
+  }
+  try {
+    buffer.validate();
+  } catch (const std::invalid_argument& err) {
+    throw std::invalid_argument(path + ": " + err.what());
+  }
+  return buffer;
+}
+
+TraceBuffer::TraceBuffer(TraceBuffer&& other) noexcept
+    : owned_(std::move(other.owned_)),
+      mapped_(std::exchange(other.mapped_, nullptr)),
+      mapped_size_(std::exchange(other.mapped_size_, 0)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      header_(other.header_) {
+  if (mapped_ == nullptr) data_ = owned_.data();
+}
+
+TraceBuffer& TraceBuffer::operator=(TraceBuffer&& other) noexcept {
+  if (this != &other) {
+    if (mapped_ != nullptr) ::munmap(mapped_, mapped_size_);
+    owned_ = std::move(other.owned_);
+    mapped_ = std::exchange(other.mapped_, nullptr);
+    mapped_size_ = std::exchange(other.mapped_size_, 0);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    header_ = other.header_;
+    if (mapped_ == nullptr) data_ = owned_.data();
+  }
+  return *this;
+}
+
+TraceBuffer::~TraceBuffer() {
+  if (mapped_ != nullptr) ::munmap(mapped_, mapped_size_);
+}
+
+void TraceBuffer::validate() {
+  if (size_ < kTraceHeaderBytes) {
+    throw std::invalid_argument("trace: truncated header");
+  }
+  if (get_u32(data_) != kTraceMagic) {
+    throw std::invalid_argument("trace: bad magic (not an EMCT trace)");
+  }
+  const std::uint16_t version = get_u16(data_ + 4);
+  if (version != kTraceVersion) {
+    throw std::invalid_argument("trace: unsupported version " +
+                                std::to_string(version));
+  }
+  header_.seed = get_u64(data_ + 8);
+  header_.fingerprint = get_u64(data_ + 16);
+  header_.records = get_u64(data_ + 24);
+
+  // One full decode pass: every record must decode inside the payload,
+  // times must be non-decreasing, and the payload must end exactly at the
+  // last record.  A buffer that survives this is safe for the infallible
+  // zero-alloc cursor.
+  const std::uint8_t* pos = payload();
+  const std::uint8_t* end = pos + payload_size();
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < header_.records; ++i) {
+    std::uint64_t delta = 0, size_x = 0, flow_z = 0, group_z = 0;
+    if (!get_varint(pos, end, delta) || !get_varint(pos, end, size_x) ||
+        !get_varint(pos, end, flow_z) || !get_varint(pos, end, group_z)) {
+      throw std::invalid_argument("trace: truncated record " +
+                                  std::to_string(i));
+    }
+    const std::uint64_t key = prev_key + delta;
+    if (key < prev_key) {
+      throw std::invalid_argument("trace: time image overflow at record " +
+                                  std::to_string(i));
+    }
+    prev_key = key;
+  }
+  if (pos != end) {
+    throw std::invalid_argument("trace: trailing bytes after last record");
+  }
+}
+
+// -- TraceCursor ------------------------------------------------------------
+
+TraceRecord TraceCursor::next() {
+  // The buffer's load-time validation pass proved every record decodes in
+  // bounds, so this is branch-light pointer walking — no failure paths.
+  const std::uint8_t* end = buffer_->payload() + buffer_->payload_size();
+  std::uint64_t delta = 0, size_x = 0, flow_z = 0, group_z = 0;
+  get_varint(pos_, end, delta);
+  get_varint(pos_, end, size_x);
+  get_varint(pos_, end, flow_z);
+  get_varint(pos_, end, group_z);
+  prev_key_ += delta;
+  prev_size_image_ ^= size_x;
+  --remaining_;
+  TraceRecord r;
+  r.time_key = prev_key_;
+  r.size = std::bit_cast<Bits>(prev_size_image_);
+  r.flow = static_cast<FlowId>(unzigzag(flow_z));
+  r.group = static_cast<GroupId>(unzigzag(group_z));
+  return r;
+}
+
+}  // namespace emcast::traffic

@@ -1,0 +1,175 @@
+#pragma once
+// Compact binary workload traces — the record/compress/replay currency of
+// the trace-driven sources (see docs/workloads.md for the full spec).
+//
+// A trace is a fixed-width little-endian header followed by delta/varint
+// packet records:
+//
+//   header (32 bytes):  magic "EMCT" (u32) | version (u16) | flags (u16) |
+//                       seed (u64) | config fingerprint (u64) |
+//                       record count (u64)
+//   record (varints):   Δ time image | size image ⊕ previous | zigzag flow |
+//                       zigzag group
+//
+// Times are stored through sim::time_key — the order-preserving integer
+// image of the double the event engine itself sorts by — so a decoded
+// emission time is the *bit-identical* double that was recorded: replaying
+// a trace schedules the exact float operands the live run scheduled, which
+// is what makes recorded-then-replayed runs byte-identical (the
+// determinism contract, guarantee (3) in docs/architecture.md).  Packet
+// sizes are doubles too (fluid-model bits); their images are XOR-delta
+// encoded, so the common fixed-size case costs one byte per record.
+//
+// Malformed input (bad magic, unknown version, truncated header, truncated
+// or trailing record bytes, non-monotone time) is rejected with
+// std::invalid_argument at load/append time — a TraceBuffer that
+// constructed successfully decodes cleanly, so the zero-alloc replay
+// cursor never needs to re-validate on the hot path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/pending_entry.hpp"
+#include "util/types.hpp"
+
+namespace emcast::traffic {
+
+inline constexpr std::uint32_t kTraceMagic = 0x54434D45u;  // "EMCT" LE
+inline constexpr std::uint16_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceHeaderBytes = 32;
+
+/// Decoded header fields (the magic/version are validated, not stored).
+struct TraceHeader {
+  std::uint64_t seed = 0;         ///< generating seed (provenance)
+  std::uint64_t fingerprint = 0;  ///< generating-config fingerprint
+  std::uint64_t records = 0;      ///< packet-record count
+};
+
+/// One decoded packet record.
+struct TraceRecord {
+  std::uint64_t time_key = 0;  ///< sim::time_key image of the emission time
+  Bits size = 0;
+  FlowId flow = -1;
+  GroupId group = -1;
+
+  Time time() const { return sim::key_time(time_key); }
+};
+
+/// FNV-1a accumulation for the header's config fingerprint: start from
+/// trace_fingerprint_seed() and mix each 64-bit knob image in turn.
+inline constexpr std::uint64_t trace_fingerprint_seed() {
+  return 14695981039346656037ULL;
+}
+inline constexpr std::uint64_t trace_fingerprint_mix(std::uint64_t h,
+                                                     std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xFF)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Streaming encoder: append records in non-decreasing time order, then
+/// finish() into the serialised bytes (or write_file()).  Appending is
+/// amortised-allocating (a growing byte vector) — recording a live run is
+/// not on the zero-alloc contract, replaying one is.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::uint64_t seed = 0, std::uint64_t fingerprint = 0)
+      : seed_(seed), fingerprint_(fingerprint) {}
+
+  void set_identity(std::uint64_t seed, std::uint64_t fingerprint) {
+    seed_ = seed;
+    fingerprint_ = fingerprint;
+  }
+
+  /// Append one record.  Throws std::invalid_argument if `t` precedes the
+  /// previous record's time (the delta encoding is unsigned by design: a
+  /// trace is a timeline, not a bag).
+  void append(Time t, Bits size, FlowId flow, GroupId group);
+
+  std::uint64_t records() const { return records_; }
+
+  /// Header + payload as one byte vector.  The writer stays appendable:
+  /// finish() may be called again after more appends.
+  std::vector<std::uint8_t> finish() const;
+
+  void write_file(const std::string& path) const;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t fingerprint_;
+  std::uint64_t records_ = 0;
+  std::uint64_t prev_key_ = 0;
+  std::uint64_t prev_size_image_ = 0;
+  std::vector<std::uint8_t> payload_;
+};
+
+/// An immutable, validated trace: owns its bytes (preloaded buffer) or a
+/// read-only mmap of the file.  Construction validates the header and
+/// walks every record once — size monotonicity of the decode cursor,
+/// exact record count, no trailing bytes — so cursors over a constructed
+/// buffer are infallible and allocation-free.
+class TraceBuffer {
+ public:
+  /// Validate and adopt serialised bytes (e.g. TraceWriter::finish()).
+  explicit TraceBuffer(std::vector<std::uint8_t> bytes);
+
+  /// Load a trace file: mmap'd read-only when the platform allows it,
+  /// falling back to a preloaded buffer read.
+  static TraceBuffer load(const std::string& path);
+
+  TraceBuffer(TraceBuffer&& other) noexcept;
+  TraceBuffer& operator=(TraceBuffer&& other) noexcept;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+  ~TraceBuffer();
+
+  const TraceHeader& header() const { return header_; }
+  std::uint64_t records() const { return header_.records; }
+  bool mapped() const { return mapped_ != nullptr; }
+
+  const std::uint8_t* payload() const { return data_ + kTraceHeaderBytes; }
+  std::size_t payload_size() const { return size_ - kTraceHeaderBytes; }
+
+ private:
+  TraceBuffer() = default;
+  void validate();  ///< throws std::invalid_argument on malformed input
+
+  std::vector<std::uint8_t> owned_;    ///< preloaded-buffer storage
+  void* mapped_ = nullptr;             ///< mmap base (munmap'd on destroy)
+  std::size_t mapped_size_ = 0;
+  const std::uint8_t* data_ = nullptr; ///< view over owned_ or mapped_
+  std::size_t size_ = 0;
+  TraceHeader header_;
+};
+
+/// Sequential decoder over a validated buffer: plain pointer arithmetic,
+/// no allocation, no failure paths (the buffer proved itself at load).
+class TraceCursor {
+ public:
+  explicit TraceCursor(const TraceBuffer& buffer) : buffer_(&buffer) {
+    rewind();
+  }
+
+  void rewind() {
+    pos_ = buffer_->payload();
+    remaining_ = buffer_->records();
+    prev_key_ = 0;
+    prev_size_image_ = 0;
+  }
+
+  bool done() const { return remaining_ == 0; }
+
+  /// Decode and return the next record.  Precondition: !done().
+  TraceRecord next();
+
+ private:
+  const TraceBuffer* buffer_;
+  const std::uint8_t* pos_ = nullptr;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t prev_key_ = 0;
+  std::uint64_t prev_size_image_ = 0;
+};
+
+}  // namespace emcast::traffic

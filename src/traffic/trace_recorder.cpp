@@ -1,0 +1,66 @@
+#include "traffic/trace_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace emcast::traffic {
+
+TraceRecorder::TraceRecorder(std::size_t lanes)
+    : lanes_(std::max<std::size_t>(1, lanes)) {}
+
+void TraceRecorder::reserve(std::size_t records_per_lane) {
+  for (auto& lane : lanes_) lane.reserve(records_per_lane);
+}
+
+void TraceRecorder::record(std::size_t lane, Time t, const sim::Packet& p) {
+  if (lane >= lanes_.size()) {
+    throw std::invalid_argument("TraceRecorder::record: lane out of range");
+  }
+  lanes_[lane].push_back(Raw{sim::time_key(t), p.size, p.flow, p.group});
+}
+
+std::uint64_t TraceRecorder::records() const {
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) n += lane.size();
+  return n;
+}
+
+std::vector<std::uint8_t> TraceRecorder::bytes() const {
+  // K-way merge by (time_key, lane): each lane is already time-sorted
+  // (per-lane capture follows that lane's event order), so one cursor per
+  // lane suffices and the result is deterministic for any thread
+  // interleaving of the recording run.
+  std::vector<std::size_t> cursor(lanes_.size(), 0);
+  TraceWriter writer(seed_, fingerprint_);
+  const std::uint64_t total = records();
+  for (std::uint64_t n = 0; n < total; ++n) {
+    std::size_t best = lanes_.size();
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      if (cursor[l] >= lanes_[l].size()) continue;
+      if (best == lanes_.size() ||
+          lanes_[l][cursor[l]].time_key < lanes_[best][cursor[best]].time_key) {
+        best = l;
+      }
+    }
+    const Raw& r = lanes_[best][cursor[best]++];
+    writer.append(sim::key_time(r.time_key), r.size, r.flow, r.group);
+  }
+  return writer.finish();
+}
+
+void TraceRecorder::write_file(const std::string& path) const {
+  // A trace's on-disk form and its in-memory form are the same bytes.
+  const std::vector<std::uint8_t> data = bytes();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    throw std::invalid_argument("TraceRecorder: cannot open " + path);
+  }
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!f) {
+    throw std::invalid_argument("TraceRecorder: short write to " + path);
+  }
+}
+
+}  // namespace emcast::traffic

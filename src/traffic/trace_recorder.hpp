@@ -1,0 +1,74 @@
+#pragma once
+// Source-boundary trace capture.  A TraceRecorder sits inside the sink a
+// live traffic source emits into and remembers every packet's (time, size,
+// flow, group); finish() merges the capture into one serialised trace a
+// traffic::TraceSource can replay.
+//
+// Lanes.  A multigroup run has one source per group, each owned by the
+// shard of its root host, so captures from different sources may happen on
+// different worker threads.  The recorder therefore records into per-lane
+// arenas (lane = group), which are entirely independent — no locks, no
+// sharing — and only finish()/bytes() (called after the run, single
+// threaded) merges the lanes into the global non-decreasing time order the
+// format requires.  Equal-time records keep lane order (lower lane first),
+// and within a lane the capture order, so the merge is a pure function of
+// the recorded set.
+//
+// Recording is off the zero-alloc contract: lanes grow amortised like any
+// measurement vector (reserve() if it matters).  *Replay* is the hot path;
+// see trace_source.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "traffic/trace_format.hpp"
+#include "util/types.hpp"
+
+namespace emcast::traffic {
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t lanes = 1);
+
+  /// Provenance stamped into the header at finish().
+  void set_identity(std::uint64_t seed, std::uint64_t fingerprint) {
+    seed_ = seed;
+    fingerprint_ = fingerprint;
+  }
+
+  std::size_t lanes() const { return lanes_.size(); }
+
+  /// Pre-size every lane (optional; recording stays correct without).
+  void reserve(std::size_t records_per_lane);
+
+  /// Capture one emission on `lane` at simulated time `t`.  Lanes must
+  /// only ever be fed from one thread each; distinct lanes are safe
+  /// concurrently.  Time must be non-decreasing per lane (sources emit in
+  /// their own event order, so this holds by construction).
+  void record(std::size_t lane, Time t, const sim::Packet& p);
+
+  std::uint64_t records() const;
+
+  /// Merge every lane into the serialised trace bytes (header included).
+  std::vector<std::uint8_t> bytes() const;
+
+  /// bytes() adopted into a validated, replayable buffer.
+  TraceBuffer finish() const { return TraceBuffer(bytes()); }
+
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Raw {
+    std::uint64_t time_key;
+    Bits size;
+    FlowId flow;
+    GroupId group;
+  };
+  std::vector<std::vector<Raw>> lanes_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace emcast::traffic

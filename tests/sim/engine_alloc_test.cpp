@@ -18,6 +18,8 @@
 #include "sim/fault_injector.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "traffic/trace_format.hpp"
+#include "traffic/trace_source.hpp"
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
@@ -461,6 +463,43 @@ TEST(EngineAllocation, ChurnReplayWarmRerunIsAllocationFree) {
     EXPECT_EQ(t.alive_count(), replicas[0].alive_count())
         << "replicas diverged";
   }
+}
+
+TEST(EngineAllocation, TraceReplaySteadyStateIsAllocationFree) {
+  // The trace-replay hot path (PR 7): TraceSource walking a validated
+  // buffer through the event loop.  Building the trace and the first
+  // replay (which grows the event slab) are setup; a warm rerun — start()
+  // rewinds the cursor and the id sequence — must allocate nothing: the
+  // cursor is pointer arithmetic, the self-rescheduling capture fits the
+  // compact slot pool, and the sink is an in-place InlineFn.
+  traffic::TraceWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    // Varying sizes/ids keep the varint decode paths honest; bursts of 5
+    // share an instant so the multi-record emit loop runs too.
+    w.append(0.001 * (i / 5), 1000.0 + (i % 7) * 128.5, i % 3, i % 3);
+  }
+  traffic::TraceBuffer buf(w.finish());
+  traffic::TraceSourceConfig cfg;
+  cfg.trace = &buf;
+  traffic::TraceSource src(cfg);
+  ASSERT_EQ(src.matched_records(), 5000u);
+
+  Simulator sim;
+  std::uint64_t delivered = 0;
+  auto replay = [&] {
+    delivered = 0;
+    src.start(sim, [&delivered](Packet) { ++delivered; }, 10.0);
+    sim.run(10.0);
+  };
+  replay();  // warm-up grows the slot slab / pending set
+  ASSERT_EQ(delivered, 5000u);
+
+  const std::size_t before = g_allocations.load();
+  sim.reset_discarding();
+  replay();
+  EXPECT_EQ(delivered, 5000u);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "trace replay steady state must not allocate";
 }
 
 TEST(EngineAllocation, SimulatorEventLoopIsAllocationFree) {

@@ -69,6 +69,60 @@ TEST(CbrSource, RejectsBadConfig) {
   EXPECT_THROW(CbrSource{cfg}, std::invalid_argument);
 }
 
+TEST(CbrSource, RejectsNonPositivePacketSize) {
+  CbrConfig cfg;
+  cfg.packet_size = 0;
+  EXPECT_THROW(CbrSource{cfg}, std::invalid_argument);
+  cfg.packet_size = -100.0;
+  EXPECT_THROW(CbrSource{cfg}, std::invalid_argument);
+}
+
+TEST(OnOffAudio, RejectsBadConfig) {
+  {
+    OnOffAudioConfig cfg;
+    cfg.mean_rate = 0;
+    EXPECT_THROW(OnOffAudioSource{cfg}, std::invalid_argument);
+  }
+  {
+    OnOffAudioConfig cfg;
+    cfg.packet_size = -1.0;
+    EXPECT_THROW(OnOffAudioSource{cfg}, std::invalid_argument);
+  }
+  {
+    OnOffAudioConfig cfg;
+    cfg.mean_on = 0;
+    EXPECT_THROW(OnOffAudioSource{cfg}, std::invalid_argument);
+  }
+  {
+    OnOffAudioConfig cfg;
+    cfg.mean_off = -0.1;
+    EXPECT_THROW(OnOffAudioSource{cfg}, std::invalid_argument);
+  }
+}
+
+TEST(MpegVideo, RejectsBadConfig) {
+  {
+    MpegVideoConfig cfg;
+    cfg.mean_rate = -1.0;
+    EXPECT_THROW(MpegVideoSource{cfg}, std::invalid_argument);
+  }
+  {
+    MpegVideoConfig cfg;
+    cfg.frame_rate = 0;
+    EXPECT_THROW(MpegVideoSource{cfg}, std::invalid_argument);
+  }
+  {
+    MpegVideoConfig cfg;
+    cfg.packet_size = 0;
+    EXPECT_THROW(MpegVideoSource{cfg}, std::invalid_argument);
+  }
+  {
+    MpegVideoConfig cfg;
+    cfg.b_ratio = 0;
+    EXPECT_THROW(MpegVideoSource{cfg}, std::invalid_argument);
+  }
+}
+
 TEST(OnOffAudio, LongTermMeanRateConverges) {
   sim::Simulator sim;
   OnOffAudioConfig cfg;

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Synthesize emcast workload traces (format v1, see docs/workloads.md).
+
+Generates deterministic trace files a ``traffic::TraceSource`` can replay,
+for workload shapes the closed-form synthetic sources cannot express:
+
+``flash-crowd``
+    A quiet baseline that multiplies to a peak rate at ``--crowd-at`` and
+    decays exponentially back — the join-storm profile of an event stream.
+
+``diurnal``
+    One sinusoidal day compressed into ``--duration``: the rate swings
+    between trough and peak around the configured mean.
+
+``correlated-burst``
+    All groups burst *together*: a seeded Poisson process picks shared
+    burst epochs, and every group emits a packet volley at the same
+    instants — worst case for MUX contention, the cross-group correlation
+    no independent per-group source model produces.
+
+The byte-level codec here (header layout, LEB128 varints, zigzag ids,
+sign-flipped double images for times and XOR-delta images for sizes) is
+the contract shared with ``src/traffic/trace_format.cpp``; both sides pin
+the same golden bytes (``tools/test_make_trace.py`` and the C++
+``TraceFormat.WriterMatchesGoldenBytes``), so change it only with a format
+version bump.
+
+Example::
+
+    python3 tools/make_trace.py --shape flash-crowd --groups 3 \
+        --duration 10 --seed 21 --out /tmp/flash.emct
+"""
+
+import argparse
+import math
+import random
+import struct
+import sys
+
+MAGIC = 0x54434D45  # "EMCT" little-endian
+VERSION = 1
+HEADER_BYTES = 32
+
+FNV_OFFSET = 14695981039346656037
+FNV_PRIME = 1099511628211
+U64 = 0xFFFFFFFFFFFFFFFF
+
+
+# -- codec (mirrors src/traffic/trace_format.cpp) ---------------------------
+
+def time_key(t):
+    """Order-preserving integer image of a double (sim::time_key)."""
+    u = struct.unpack("<Q", struct.pack("<d", t + 0.0))[0]
+    sign = 1 << 63
+    return (~u) & U64 if (u & sign) else (u | sign)
+
+
+def double_image(x):
+    return struct.unpack("<Q", struct.pack("<d", float(x)))[0]
+
+
+def varint(v):
+    out = bytearray()
+    while v >= 0x80:
+        out.append((v & 0x7F) | 0x80)
+        v >>= 7
+    out.append(v)
+    return bytes(out)
+
+
+def zigzag(v):
+    return ((v << 1) ^ (v >> 63)) & U64 if v < 0 else (v << 1)
+
+
+def fingerprint_mix(h, v):
+    """FNV-1a over the 8 little-endian bytes of v (trace_fingerprint_mix)."""
+    for i in range(8):
+        h = ((h ^ ((v >> (8 * i)) & 0xFF)) * FNV_PRIME) & U64
+    return h
+
+
+def encode(seed, fingerprint, records):
+    """Serialise ``records`` = [(time, size, flow, group)] (time-sorted)."""
+    payload = bytearray()
+    prev_key = 0
+    prev_size = 0
+    for (t, size, flow, group) in records:
+        key = time_key(t)
+        if key < prev_key:
+            raise ValueError("records must be in non-decreasing time order")
+        image = double_image(size)
+        payload += varint(key - prev_key)
+        payload += varint(image ^ prev_size)
+        payload += varint(zigzag(flow))
+        payload += varint(zigzag(group))
+        prev_key, prev_size = key, image
+    header = struct.pack("<IHHQQQ", MAGIC, VERSION, 0, seed, fingerprint,
+                         len(records))
+    return header + bytes(payload)
+
+
+# -- shapes -----------------------------------------------------------------
+
+def rate_driven_records(args, group, rate_at):
+    """One group's packets for a time-varying rate profile: the next packet
+    follows the current packet by packet_size / rate(now)."""
+    rng = random.Random((args.seed << 8) ^ group)
+    records = []
+    t = rng.uniform(0.0, args.packet_size / rate_at(0.0))  # phase offset
+    while t < args.duration:
+        records.append((t, args.packet_size, group, group))
+        t += args.packet_size / rate_at(t)
+    return records
+
+
+def shape_flash_crowd(args):
+    def rate_at(t):
+        if t < args.crowd_at:
+            return args.rate
+        decay = math.exp(-(t - args.crowd_at) / max(args.crowd_decay, 1e-9))
+        return args.rate * (1.0 + (args.crowd_peak - 1.0) * decay)
+
+    records = []
+    for g in range(args.groups):
+        records += rate_driven_records(args, g, rate_at)
+    return records
+
+
+def shape_diurnal(args):
+    def rate_at(t):
+        phase = 2.0 * math.pi * t / args.duration
+        swing = args.diurnal_swing * math.sin(phase)
+        return args.rate * max(1.0 + swing, 0.05)
+
+    records = []
+    for g in range(args.groups):
+        records += rate_driven_records(args, g, rate_at)
+    return records
+
+
+def shape_correlated_burst(args):
+    rng = random.Random(args.seed)
+    records = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(args.burst_rate)
+        if t >= args.duration:
+            break
+        # Every group volleys at the same epoch: per-group packet counts
+        # jitter independently, but the instants are shared.
+        for g in range(args.groups):
+            packets = 1 + rng.randrange(args.burst_packets)
+            for _ in range(packets):
+                records.append((t, args.packet_size, g, g))
+    return records
+
+
+SHAPES = {
+    "flash-crowd": shape_flash_crowd,
+    "diurnal": shape_diurnal,
+    "correlated-burst": shape_correlated_burst,
+}
+
+
+def synthesize(args):
+    """Generate, canonicalise and serialise the configured workload."""
+    records = SHAPES[args.shape](args)
+    # Canonical global order: (time image, group) — the same tie rule
+    # TraceRecorder's lane merge produces.
+    records.sort(key=lambda r: (time_key(r[0]), r[3]))
+    fp = FNV_OFFSET
+    fp = fingerprint_mix(fp, list(SHAPES).index(args.shape))
+    fp = fingerprint_mix(fp, args.groups)
+    fp = fingerprint_mix(fp, args.seed)
+    fp = fingerprint_mix(fp, double_image(args.duration))
+    return encode(args.seed, fp, records)
+
+
+def build_parser():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--shape", choices=sorted(SHAPES), required=True)
+    p.add_argument("--out", required=True, help="output trace path")
+    p.add_argument("--groups", type=int, default=3)
+    p.add_argument("--duration", type=float, default=10.0, help="seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--rate", type=float, default=64000.0,
+                   help="baseline per-group rate [bit/s]")
+    p.add_argument("--packet-size", type=float, default=1280.0, help="bits")
+    p.add_argument("--crowd-at", type=float, default=2.0,
+                   help="flash-crowd: onset time [s]")
+    p.add_argument("--crowd-peak", type=float, default=8.0,
+                   help="flash-crowd: peak rate multiplier")
+    p.add_argument("--crowd-decay", type=float, default=1.5,
+                   help="flash-crowd: decay constant [s]")
+    p.add_argument("--diurnal-swing", type=float, default=0.6,
+                   help="diurnal: fractional swing around the mean")
+    p.add_argument("--burst-rate", type=float, default=2.0,
+                   help="correlated-burst: burst epochs per second")
+    p.add_argument("--burst-packets", type=int, default=8,
+                   help="correlated-burst: max packets per group per burst")
+    return p
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.groups <= 0 or args.duration <= 0 or args.rate <= 0 \
+            or args.packet_size <= 0:
+        print("make_trace: groups/duration/rate/packet-size must be > 0",
+              file=sys.stderr)
+        return 2
+    data = synthesize(args)
+    with open(args.out, "wb") as f:
+        f.write(data)
+    n = struct.unpack("<Q", data[24:32])[0]
+    print(f"{args.out}: {args.shape}, {n} records, {len(data)} bytes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

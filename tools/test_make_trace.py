@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Unit tests for the workload-trace synthesizer (tools/make_trace.py).
+
+Run directly (``python3 tools/test_make_trace.py``) or through ctest
+(registered as ``make_trace_selftest``).  The critical case is
+``test_golden_bytes_match_cpp_codec``: the python encoder must produce the
+exact byte array the C++ ``TraceFormat.WriterMatchesGoldenBytes`` test
+pins, so the two codecs cannot drift apart silently.
+"""
+
+import os
+import struct
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import make_trace  # noqa: E402
+
+# The same array tests/traffic/trace_format_test.cpp pins (kGolden):
+# encode(seed=42, fingerprint=0xABCDEF, records=[(0.25, 1000.0, 0, 0),
+# (0.25, 1000.0, 1, 1), (0.5, 1536.5, 0, 0)]).
+GOLDEN = bytes([
+    0x45, 0x4D, 0x43, 0x54, 0x01, 0x00, 0x00, 0x00, 0x2A, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0xEF, 0xCD, 0xAB, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x80,
+    0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0xE8, 0xBF, 0x01, 0x80, 0x80,
+    0x80, 0x80, 0x80, 0x80, 0xD0, 0xC7, 0x40, 0x00, 0x00, 0x00, 0x00,
+    0x02, 0x02, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x08, 0x80,
+    0x80, 0x80, 0x80, 0x80, 0xC0, 0xD0, 0x0B, 0x00, 0x00,
+])
+
+
+def args_for(shape, **overrides):
+    argv = ["--shape", shape, "--out", "unused.emct"]
+    for key, value in overrides.items():
+        argv += ["--" + key.replace("_", "-"), str(value)]
+    return make_trace.build_parser().parse_args(argv)
+
+
+class CodecTest(unittest.TestCase):
+    def test_golden_bytes_match_cpp_codec(self):
+        data = make_trace.encode(42, 0xABCDEF, [
+            (0.25, 1000.0, 0, 0),
+            (0.25, 1000.0, 1, 1),
+            (0.5, 1536.5, 0, 0),
+        ])
+        self.assertEqual(data, GOLDEN)
+
+    def test_varint_boundaries(self):
+        self.assertEqual(make_trace.varint(0), b"\x00")
+        self.assertEqual(make_trace.varint(0x7F), b"\x7F")
+        self.assertEqual(make_trace.varint(0x80), b"\x80\x01")
+        self.assertEqual(make_trace.varint((1 << 64) - 1), b"\xFF" * 9 + b"\x01")
+
+    def test_zigzag(self):
+        self.assertEqual(make_trace.zigzag(0), 0)
+        self.assertEqual(make_trace.zigzag(-1), 1)
+        self.assertEqual(make_trace.zigzag(1), 2)
+        self.assertEqual(make_trace.zigzag(-2), 3)
+
+    def test_time_key_preserves_order(self):
+        times = [0.0, 1e-9, 0.25, 1.0 / 3.0, 1.0, 1234.5]
+        keys = [make_trace.time_key(t) for t in times]
+        self.assertEqual(keys, sorted(keys))
+
+    def test_encode_rejects_backwards_time(self):
+        with self.assertRaises(ValueError):
+            make_trace.encode(0, 0, [(1.0, 1.0, 0, 0), (0.5, 1.0, 0, 0)])
+
+    def test_header_layout(self):
+        data = make_trace.encode(7, 9, [])
+        self.assertEqual(len(data), make_trace.HEADER_BYTES)
+        magic, version, flags, seed, fp, n = struct.unpack("<IHHQQQ", data)
+        self.assertEqual(magic, make_trace.MAGIC)
+        self.assertEqual(version, 1)
+        self.assertEqual(flags, 0)
+        self.assertEqual((seed, fp, n), (7, 9, 0))
+
+
+class SynthesizerTest(unittest.TestCase):
+    def synthesize(self, shape, **overrides):
+        return make_trace.synthesize(args_for(shape, **overrides))
+
+    def records_of(self, data):
+        n = struct.unpack("<Q", data[24:32])[0]
+        self.assertGreater(n, 0)
+        return n
+
+    def test_all_shapes_produce_records(self):
+        for shape in make_trace.SHAPES:
+            data = self.synthesize(shape, duration=4.0, seed=3)
+            self.records_of(data)
+
+    def test_deterministic_for_seed(self):
+        for shape in make_trace.SHAPES:
+            a = self.synthesize(shape, seed=5)
+            b = self.synthesize(shape, seed=5)
+            c = self.synthesize(shape, seed=6)
+            self.assertEqual(a, b, shape)
+            self.assertNotEqual(a, c, shape)
+
+    def test_flash_crowd_peaks_after_onset(self):
+        args = args_for("flash-crowd", duration=6.0, crowd_at=3.0,
+                        crowd_peak=10.0, seed=2)
+        records = make_trace.SHAPES["flash-crowd"](args)
+        before = sum(1 for r in records if r[0] < 3.0)
+        after = sum(1 for r in records if r[0] >= 3.0)
+        self.assertGreater(after, 2 * before)
+
+    def test_correlated_bursts_share_epochs(self):
+        args = args_for("correlated-burst", duration=5.0, groups=3, seed=4)
+        records = make_trace.SHAPES["correlated-burst"](args)
+        epochs = {}
+        for (t, _, _, g) in records:
+            epochs.setdefault(t, set()).add(g)
+        for groups_at in epochs.values():
+            self.assertEqual(groups_at, {0, 1, 2})
+
+    def test_fingerprint_depends_on_shape_and_seed(self):
+        def fp(shape, seed):
+            data = self.synthesize(shape, seed=seed, duration=2.0)
+            return struct.unpack("<Q", data[16:24])[0]
+
+        self.assertNotEqual(fp("diurnal", 1), fp("flash-crowd", 1))
+        self.assertNotEqual(fp("diurnal", 1), fp("diurnal", 2))
+
+    def test_main_writes_file(self):
+        with tempfile.TemporaryDirectory() as d:
+            out = os.path.join(d, "t.emct")
+            rc = make_trace.main(["--shape", "diurnal", "--duration", "2",
+                                  "--out", out])
+            self.assertEqual(rc, 0)
+            with open(out, "rb") as f:
+                data = f.read()
+            self.assertEqual(data[:4], b"EMCT")
+            self.records_of(data)
+
+    def test_main_rejects_bad_knobs(self):
+        rc = make_trace.main(["--shape", "diurnal", "--duration", "0",
+                              "--out", "/dev/null"])
+        self.assertEqual(rc, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
