@@ -1,11 +1,18 @@
 #pragma once
 // Shared helpers for the figure/table regeneration benches: consistent
 // table output plus crossover/gain summaries matching how the paper
-// reports its results.
+// reports its results.  For the google-benchmark binaries (include
+// <benchmark/benchmark.h> before this header) it additionally provides
+// EMCAST_BENCH_MAIN(), a BENCHMARK_MAIN() replacement that stamps the
+// machine shape into the JSON context so committed BENCH_pr<N>.json
+// snapshots are self-describing and tools/bench_compare.py can warn
+// when two runs came from differently-sized machines.
 
 #include <cstdio>
 #include <iostream>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/math.hpp"
@@ -38,3 +45,45 @@ inline void print_threshold_summary(const std::vector<double>& grid,
 }
 
 }  // namespace emcast::bench
+
+#ifdef BENCHMARK_BENCHMARK_H_
+
+namespace emcast::bench {
+
+/// Stamp the run's machine shape and compiled flags into the benchmark
+/// JSON context (next to google-benchmark's own num_cpus).  `hw_cores`
+/// is what std::thread::hardware_concurrency() reported to the sharded
+/// scheduler — on cgroup-limited CI runners this is the number that
+/// decides how many worker threads a sweep actually gets, which is why
+/// the snapshots record it rather than trusting num_cpus alone.
+/// `build_flags` comes from CMake (EMCAST_BUILD_FLAGS) when available so
+/// a debug snapshot can never silently baseline a release run.
+inline void add_machine_context() {
+  benchmark::AddCustomContext(
+      "hw_cores", std::to_string(std::thread::hardware_concurrency()));
+#ifdef EMCAST_BUILD_FLAGS
+  benchmark::AddCustomContext("build_flags", EMCAST_BUILD_FLAGS);
+#elif defined(NDEBUG)
+  benchmark::AddCustomContext("build_flags", "NDEBUG");
+#else
+  benchmark::AddCustomContext("build_flags", "assertions");
+#endif
+}
+
+}  // namespace emcast::bench
+
+/// BENCHMARK_MAIN() with the machine context stamped after Initialize
+/// (context is emitted at report time, so registration order is the only
+/// constraint).
+#define EMCAST_BENCH_MAIN()                                           \
+  int main(int argc, char** argv) {                                   \
+    benchmark::Initialize(&argc, argv);                               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    emcast::bench::add_machine_context();                             \
+    benchmark::RunSpecifiedBenchmarks();                              \
+    benchmark::Shutdown();                                            \
+    return 0;                                                         \
+  }                                                                   \
+  int main(int, char**)
+
+#endif  // BENCHMARK_BENCHMARK_H_

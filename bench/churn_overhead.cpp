@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <memory>
 
 #include "experiments/multigroup_sim.hpp"
@@ -71,4 +73,4 @@ BENCHMARK(BM_MultigroupChurnOff)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EMCAST_BENCH_MAIN();

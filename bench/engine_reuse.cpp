@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdint>
 
 #include "sim/context.hpp"
@@ -174,4 +176,4 @@ BENCHMARK(BM_ShardedShortRunFresh)->Arg(512)->Arg(8192);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EMCAST_BENCH_MAIN();

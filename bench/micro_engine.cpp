@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <numeric>
 #include <vector>
 
@@ -268,4 +270,4 @@ BENCHMARK(BM_DsctBuild665);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EMCAST_BENCH_MAIN();

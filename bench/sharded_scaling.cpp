@@ -4,6 +4,11 @@
 //
 //   BM_ShardedScalingRef/<hosts>          single-threaded Simulator
 //   BM_ShardedScaling/<hosts>/<shards>    ShardedSimulator, auto threads
+//   BM_ShardedScalingUnbatched/<hosts>/<shards>
+//       the same runs with per-copy deliver() instead of deliver_batch
+//       trains: the in-run A/B baseline for the batch-path gate
+//       (bench_compare.py --ab-only --ab-suffix Unbatched).  Traces are
+//       byte-identical either way; only scheduling mechanics differ.
 //
 // Manual timing: each iteration rebuilds the run but the clock covers
 // only the run() itself (overlay construction is cached and excluded),
@@ -16,6 +21,8 @@
 // instead of speedup (see BENCH_pr3.json provenance note in ROADMAP).
 
 #include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
 
 #include "experiments/sharded_multigroup.hpp"
 
@@ -55,10 +62,11 @@ BENCHMARK(BM_ShardedScalingRef)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-void BM_ShardedScaling(benchmark::State& state) {
+void run_scaling(benchmark::State& state, bool batch_delivery) {
   ShardedMultigroupConfig cfg =
       scaled_config(static_cast<std::size_t>(state.range(0)));
   cfg.shards = static_cast<std::size_t>(state.range(1));
+  cfg.batch_delivery = batch_delivery;
   std::uint64_t events = 0;
   for (auto _ : state) {
     const auto r = run_sharded_multigroup(cfg);
@@ -68,10 +76,26 @@ void BM_ShardedScaling(benchmark::State& state) {
     state.counters["rounds"] = static_cast<double>(r.rounds);
     state.counters["xmsgs"] = static_cast<double>(r.messages);
     state.counters["lookahead_ms"] = r.lookahead * 1e3;
+    // Window-protocol cost axis: synchronisation rounds per simulated
+    // second.  Wider windows (the pair-lookahead matrix) push this DOWN
+    // at fixed traffic; compare across PR snapshots at equal shard count.
+    state.counters["win_per_simsec"] =
+        static_cast<double>(r.rounds) / r.horizon;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
+
+void BM_ShardedScaling(benchmark::State& state) { run_scaling(state, true); }
 BENCHMARK(BM_ShardedScaling)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ShardedScalingUnbatched(benchmark::State& state) {
+  run_scaling(state, false);
+}
+BENCHMARK(BM_ShardedScalingUnbatched)
     ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
@@ -79,4 +103,4 @@ BENCHMARK(BM_ShardedScaling)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EMCAST_BENCH_MAIN();

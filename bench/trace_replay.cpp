@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <memory>
 
 #include "experiments/multigroup_sim.hpp"
@@ -137,4 +139,4 @@ BENCHMARK(BM_TraceReplayMultigroupSynthetic)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EMCAST_BENCH_MAIN();

@@ -108,6 +108,24 @@ ShardedMultigroupEngine sharded_engine_config(
   setup.engine.lookahead =
       fwd_overhead +
       (pstats.cross_edges != 0 ? pstats.min_cross_delay : 0.0);
+  // Per-pair lookahead matrix: every cross-shard handoff is a tree-edge
+  // parent->child forward whose delay is >= fwd_overhead +
+  // member_delay(parent, child), so fwd_overhead + the pair's minimum
+  // cross-edge delay bounds every src->dst post — the same argument the
+  // scalar uses, applied per ordered pair.  Pairs no tree edge crosses
+  // stay +infinity (edge-free).  Sized to the requested shard count:
+  // shards the partition left empty have no edges either way.
+  const std::size_t S = setup.engine.shards;
+  setup.engine.lookahead_matrix.assign(S * S, kTimeInfinity);
+  for (std::size_t src = 0; src < pstats.shards; ++src) {
+    for (std::size_t dst = 0; dst < pstats.shards; ++dst) {
+      if (src == dst) continue;
+      const Time d = pstats.pair_min_delay[src * pstats.shards + dst];
+      if (std::isfinite(d)) {
+        setup.engine.lookahead_matrix[src * S + dst] = fwd_overhead + d;
+      }
+    }
+  }
   setup.engine.shard_of = std::move(partition.shard_of);
   setup.cross_edges = pstats.cross_edges;
   setup.total_edges = pstats.total_edges;
@@ -221,12 +239,19 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
         setup.engine.lookahead =
             std::min(setup.engine.lookahead, e.lookahead);
       }
+      // Repairs re-parent members mid-run, so per-PAIR minima can change
+      // even where the global plan collapsed to the uniform scalar (a
+      // new cross edge for one pair need not move the global min).  The
+      // static matrix is only trusted on a static topology: churn runs
+      // keep the scalar/epoch bounds, which the repair pricing derives.
+      setup.engine.lookahead_matrix.clear();
     }
     r.lookahead = setup.engine.lookahead;
     r.lookahead_epochs = plan.size();
     if (reuse) {
       engine_slot->reset(std::move(setup.engine.shard_of),
-                         setup.engine.lookahead);
+                         setup.engine.lookahead,
+                         std::move(setup.engine.lookahead_matrix));
     } else {
       engine_slot = std::make_unique<sim::Engine>(std::move(setup.engine));
     }
@@ -363,13 +388,27 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
       }
       return;
     }
-    for (std::size_t j = 0; j < children.size(); ++j) {
-      const std::size_t child = children[j];
-      const Time replication = static_cast<double>(j) * p.size / capacity;
-      const Time overhead = config.fwd_overhead + p.size / config.fwd_cpu_rate;
-      const Time prop = mg.member_delay(h, child);
-      ctx.deliver(static_cast<HostId>(child), p,
-                  ctx.now() + (replication + overhead + prop));
+    // Batch the fan-out: one deliver_batch per chunk instead of one
+    // kernel/mailbox touch per child.  Arrival times are computed from
+    // the same float operands in the same order as the per-child
+    // deliver() loop, and deliver_batch fires in index order — the
+    // traces stay byte-identical.
+    constexpr std::size_t kFanChunk = 32;
+    sim::DeliveryItem train[kFanChunk];
+    for (std::size_t j = 0; j < children.size(); j += kFanChunk) {
+      const std::size_t m = std::min(kFanChunk, children.size() - j);
+      for (std::size_t c = 0; c < m; ++c) {
+        const std::size_t child = children[j + c];
+        const Time replication =
+            static_cast<double>(j + c) * p.size / capacity;
+        const Time overhead =
+            config.fwd_overhead + p.size / config.fwd_cpu_rate;
+        const Time prop = mg.member_delay(h, child);
+        train[c].packet = p;
+        train[c].at = ctx.now() + (replication + overhead + prop);
+        train[c].host = static_cast<HostId>(child);
+      }
+      ctx.deliver_batch(train, m);
     }
   };
   // The engine's delivery handler runs at the arrival time on the kernel

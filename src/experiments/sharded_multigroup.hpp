@@ -57,6 +57,12 @@ struct ShardedMultigroupConfig {
   bool collect_trace = false;  ///< record every delivery (tests)
   std::size_t mailbox_capacity = 4096;
   std::uint64_t topology_seed = 42;
+  /// Fan-out through deliver_batch trains (the production path).  false
+  /// issues one deliver() per child from the same float operands in the
+  /// same order — byte-identical traces, one kernel/mailbox touch per
+  /// copy — and exists as the in-run A/B baseline for the batch-path
+  /// speedup gate (bench/sharded_scaling.cpp, --ab-suffix Unbatched).
+  bool batch_delivery = true;
 };
 
 /// One delivery, exact to the bit (see experiments/delivery_trace.hpp).
@@ -77,6 +83,7 @@ struct ShardedMultigroupResult {
   std::size_t cross_edges = 0;
   std::size_t total_edges = 0;
   Time lookahead = 0;
+  Time horizon = 0;  ///< simulated span of the run (duration + drain tail)
   /// Canonical trace, sorted by (time_key, group, packet, host); empty
   /// unless collect_trace.
   DeliveryTrace trace;

@@ -103,6 +103,14 @@ PartitionStats evaluate_partition(const MultiGroupNetwork& mg,
   if (shard_of.size() != n) {
     throw std::invalid_argument("evaluate_partition: size mismatch");
   }
+  std::uint32_t shards = 0;
+  for (const std::uint32_t s : shard_of) shards = std::max(shards, s + 1);
+  stats.shards = shards;
+  // Per ordered pair (parent shard -> child shard), the minimum underlay
+  // delay over the crossing tree edges; infinity marks a pair no edge
+  // crosses.  min_cross_delay stays the global min over all pairs.
+  stats.pair_min_delay.assign(static_cast<std::size_t>(shards) * shards,
+                              kTimeInfinity);
   for (int g = 0; g < mg.groups(); ++g) {
     const MulticastTree& tree = mg.tree(g);
     for (std::size_t h = 0; h < tree.size(); ++h) {
@@ -113,11 +121,12 @@ PartitionStats evaluate_partition(const MultiGroupNetwork& mg,
         ++stats.cross_edges;
         const Time d = mg.member_delay(p, h);
         if (d < stats.min_cross_delay) stats.min_cross_delay = d;
+        Time& pair =
+            stats.pair_min_delay[shard_of[p] * shards + shard_of[h]];
+        if (d < pair) pair = d;
       }
     }
   }
-  std::uint32_t shards = 0;
-  for (const std::uint32_t s : shard_of) shards = std::max(shards, s + 1);
   std::vector<std::size_t> load(shards, 0);
   for (const std::uint32_t s : shard_of) ++load[s];
   for (const std::size_t l : load) {

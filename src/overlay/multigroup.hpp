@@ -76,6 +76,14 @@ struct PartitionStats {
   /// kTimeInfinity when no edge crosses (single shard).
   Time min_cross_delay = kTimeInfinity;
   std::size_t max_shard_hosts = 0;
+  /// Number of shards the evaluated map names (max entry + 1).
+  std::size_t shards = 0;
+  /// Per ordered shard pair, min over (parent in src, child in dst) tree
+  /// edges of member_delay(parent, child) — flattened row-major
+  /// [src * shards + dst], kTimeInfinity where no edge crosses that pair.
+  /// The per-pair analogue of min_cross_delay: the sharded engine derives
+  /// its pair lookahead matrix from it to widen conservative windows.
+  std::vector<Time> pair_min_delay;
 };
 
 PartitionStats evaluate_partition(const MultiGroupNetwork& mg,

@@ -69,6 +69,19 @@ class CalendarPendingSet {
   bool empty() const { return size_ == 0; }
 
   void push(PendingEntry e);
+
+  /// Insert `count` entries with one front-register settlement and one
+  /// bucket-head update per monotone run, instead of per entry — the
+  /// batch-schedule fast path (BasicEventQueue::push_batch).
+  ///
+  /// Precondition: entries carry strictly ascending sequence numbers in
+  /// index order (push_batch assigns them), so within any nondecreasing
+  /// time_key run the (time_key, seq) order equals the index order.  The
+  /// resulting structure pops the exact order a loop of push() calls
+  /// would produce.  On a throw (allocation only), a PREFIX of the batch
+  /// has been inserted and size() accounts exactly for it.
+  void insert_batch(const PendingEntry* entries, std::size_t count);
+
   /// The global minimum, O(1): it always lives in the front register.
   const PendingEntry& min() {
     assert(size_ != 0 && "min on empty calendar queue");
@@ -154,6 +167,13 @@ class CalendarPendingSet {
 
   void link_entry(PendingEntry e);  ///< chain insert, no size_ change
   void insert_structure(PendingEntry e);  ///< bucket/overflow insert
+  /// Bulk-insert a nondecreasing run of entries (all >= front_) into the
+  /// structure, updating size_ as it goes; the batch fast path.
+  void insert_run(const PendingEntry* e, std::size_t m);
+  /// Chain `m` already-(time_key, seq)-sorted entries into bucket `b`
+  /// with one head read/write.  Nothrow (pool capacity pre-reserved).
+  void link_run(std::size_t b, const PendingEntry* e,
+                std::size_t m) noexcept;
   PendingEntry structure_pop();  ///< earliest bucket/overflow entry
   void collapse_to_small();  ///< move every bucket entry into the heap
   std::size_t find_first_occupied() const;

@@ -51,6 +51,7 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   shc.lookahead = config_.lookahead;
   shc.mailbox_capacity = config_.mailbox_capacity;
   shc.pin_threads = config_.pin_threads;
+  shc.lookahead_matrix = config_.lookahead_matrix;
   sharded_ = std::make_unique<ShardedSimulator>(shc);
 
   const std::uint32_t* shard_of =
@@ -64,14 +65,28 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   }
   // Cross-shard arrivals: the drain handler only schedules locally (the
   // ShardMsgHandler contract); the model's DeliverFn then fires at the
-  // stamped arrival time exactly like a local deliver() would.
-  sharded_->set_message_handler(
-      [this](Shard& shard, const CrossShardMsg& m) {
+  // stamped arrival time exactly like a local deliver() would.  The
+  // batch flavour sees the round's whole sorted message array — a single
+  // nondecreasing deliver_at run — and turns it into chunked
+  // schedule_batch calls: sequence numbers land in the same sorted order
+  // the per-message handler would assign, one calendar touch per chunk.
+  sharded_->set_batch_message_handler(
+      [this](Shard& shard, const CrossShardMsg* msgs, std::size_t count) {
         const detail::ContextBackend* b = &backends_[shard.index()];
-        b->sim->schedule_at(
-            m.deliver_at, [b, host = m.dest_host, p = m.packet] {
+        constexpr std::size_t kChunk = 64;
+        Time times[kChunk];
+        for (std::size_t i = 0; i < count; i += kChunk) {
+          const std::size_t m = std::min(kChunk, count - i);
+          for (std::size_t c = 0; c < m; ++c) {
+            times[c] = msgs[i + c].deliver_at;
+          }
+          const CrossShardMsg* chunk = msgs + i;
+          b->sim->schedule_batch(times, m, [b, chunk](std::size_t c) {
+            return [b, host = chunk[c].dest_host, p = chunk[c].packet] {
               (*b->on_deliver)(SimContext(b), host, p);
-            });
+            };
+          });
+        }
       });
 }
 
@@ -84,6 +99,11 @@ void Engine::reset() {
 }
 
 void Engine::reset(std::vector<std::uint32_t> shard_of, Time lookahead) {
+  reset(std::move(shard_of), lookahead, {});
+}
+
+void Engine::reset(std::vector<std::uint32_t> shard_of, Time lookahead,
+                   std::vector<Time> lookahead_matrix) {
   if (single_ != nullptr) {
     throw std::invalid_argument(
         "Engine::reset: cannot rebind a host->shard map on a Single engine");
@@ -93,9 +113,13 @@ void Engine::reset(std::vector<std::uint32_t> shard_of, Time lookahead) {
     throw std::invalid_argument("Engine::reset: lookahead must be > 0");
   }
   // Rewind the backend BEFORE rebinding: a mid-run reset throws out of
-  // the kernel guard with the old routing still intact.
+  // the kernel guard with the old routing still intact.  The explicit
+  // scalar clears the backend's old matrix; the new one (when given)
+  // installs after, so a validation throw leaves the engine reset on the
+  // uniform scalar rather than on a half-committed matrix.
   sharded_->reset(lookahead);
   config_.lookahead = lookahead;
+  config_.lookahead_matrix.clear();
   config_.shard_of = std::move(shard_of);
   // The map's storage moved: re-point every backend record at it.
   const std::uint32_t* map =
@@ -103,6 +127,10 @@ void Engine::reset(std::vector<std::uint32_t> shard_of, Time lookahead) {
   for (auto& b : backends_) {
     b.shard_of = map;
     b.shard_of_size = config_.shard_of.size();
+  }
+  if (!lookahead_matrix.empty()) {
+    sharded_->set_lookahead_matrix(lookahead_matrix);  // validates
+    config_.lookahead_matrix = std::move(lookahead_matrix);
   }
 }
 

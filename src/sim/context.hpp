@@ -41,6 +41,7 @@
 //     of its own — local scheduling order is the call order, cross-shard
 //     drains keep the (deliver_at, source shard, seq) merge order.
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -114,6 +115,17 @@ class SimContext {
     return sim_->schedule_at(t, std::forward<F>(fn));
   }
 
+  /// Batch-schedule `count` events on the local kernel with one calendar
+  /// touch per monotone time run (see BasicSimulator::schedule_batch).
+  /// make(i) returns the i-th event's callable; batch events are not
+  /// individually cancellable.  Timer trains (periodic sources) use this
+  /// to amortise the per-event queue walk.
+  template <typename Make>
+  void schedule_batch(const Time* times, std::size_t count,
+                      Make&& make) const {
+    sim_->schedule_batch(times, count, std::forward<Make>(make));
+  }
+
   /// Cancel a previously scheduled event (idempotent, safe after fire).
   void cancel(EventHandle& h) const { h.cancel(); }
 
@@ -178,6 +190,18 @@ class SimContext {
     }
   }
 
+  /// Batch flavour of deliver(): hand over a whole train of packet
+  /// copies in one call.  Exactly equivalent to calling deliver(items[i])
+  /// in index order — local arrivals keep their scheduling order
+  /// (sequence numbers are assigned in index order) and remote arrivals
+  /// keep their per-mailbox post order — but consecutive same-destination
+  /// runs cost one kernel/mailbox touch each: a local run becomes one
+  /// schedule_batch (one calendar touch per monotone time run), a remote
+  /// run one Shard::post_batch (one ring publish + one spill check).
+  /// Models fanning a packet out to many children (the multigroup
+  /// forward path) fill a small DeliveryItem array and call this.
+  void deliver_batch(const DeliveryItem* items, std::size_t n) const;
+
   /// Escape hatch to the concrete local kernel (telemetry, tests).
   Simulator& kernel() const { return *sim_; }
 
@@ -191,6 +215,53 @@ class SimContext {
 };
 
 static_assert(sizeof(SimContext) == 16, "SimContext is a two-pointer handle");
+
+inline void SimContext::deliver_batch(const DeliveryItem* items,
+                                      std::size_t n) const {
+  const detail::ContextBackend* b = backend_;
+  assert(b != nullptr && b->on_deliver != nullptr &&
+         "SimContext::deliver_batch needs an Engine-built context "
+         "(set_deliver installed)");
+  std::size_t i = 0;
+  while (i < n) {
+    assert((b->shard_of == nullptr ||
+            static_cast<std::size_t>(items[i].host) < b->shard_of_size) &&
+           "deliver_batch: host beyond the engine's shard_of map");
+    const std::uint32_t dest =
+        b->shard_of != nullptr ? b->shard_of[items[i].host] : b->index;
+    // Extend the run while consecutive items share the destination shard.
+    std::size_t j = i + 1;
+    while (j < n) {
+      assert((b->shard_of == nullptr ||
+              static_cast<std::size_t>(items[j].host) < b->shard_of_size) &&
+             "deliver_batch: host beyond the engine's shard_of map");
+      const std::uint32_t d =
+          b->shard_of != nullptr ? b->shard_of[items[j].host] : b->index;
+      if (d != dest) break;
+      ++j;
+    }
+    if (b->shard == nullptr || dest == b->index) {
+      // Local run: one schedule_batch per fixed-size chunk (the times
+      // array lives on the stack; the capture is the same fat
+      // (backend, host, Packet) slot deliver() uses).
+      constexpr std::size_t kChunk = 64;
+      Time times[kChunk];
+      for (std::size_t k = i; k < j; k += kChunk) {
+        const std::size_t m = std::min(kChunk, j - k);
+        for (std::size_t c = 0; c < m; ++c) times[c] = items[k + c].at;
+        const DeliveryItem* chunk = items + k;
+        sim_->schedule_batch(times, m, [b, chunk](std::size_t c) {
+          return [b, host = chunk[c].host, p = chunk[c].packet] {
+            (*b->on_deliver)(SimContext(b), host, p);
+          };
+        });
+      }
+    } else {
+      b->shard->post_batch(dest, items + i, j - i);
+    }
+    i = j;
+  }
+}
 
 /// Which kernel an Engine stands up.  Purely a performance/scale knob:
 /// models written against SimContext produce byte-identical traces on
@@ -219,6 +290,12 @@ struct EngineConfig {
   /// asserted at the lookup sites.  May be empty when shards == 1
   /// (everything local).
   std::vector<std::uint32_t> shard_of;
+  /// Optional per-shard-pair lookahead matrix (shards² entries, flattened
+  /// [src * shards + dst]); empty = the uniform scalar above.  See
+  /// ShardedSimulator::set_lookahead_matrix for the contract — the
+  /// experiments derive it from the partition's per-pair minimum
+  /// cross-edge delay to widen the conservative windows.
+  std::vector<Time> lookahead_matrix;
 };
 
 /// Owns one backend — a single-threaded Simulator or a ShardedSimulator —
@@ -258,7 +335,16 @@ class Engine {
   /// install a new host->shard map (validated like the constructor's) and
   /// a new conservative lookahead (> 0, finite).  The shard count itself
   /// cannot change.  Throws std::invalid_argument on a Single engine.
+  /// Any installed pair lookahead matrix is cleared (it was derived for
+  /// the old routing); the overload below re-derives one atomically.
   void reset(std::vector<std::uint32_t> shard_of, Time lookahead);
+
+  /// Rebinding reset that also installs a per-shard-pair lookahead
+  /// matrix for the new routing (shards² entries or empty; see
+  /// ShardedSimulator::set_lookahead_matrix).  If matrix validation
+  /// throws, the engine is left reset on the uniform scalar.
+  void reset(std::vector<std::uint32_t> shard_of, Time lookahead,
+             std::vector<Time> lookahead_matrix);
 
   EngineKind kind() const { return config_.kind; }
   /// The (normalised) configuration the engine was built with; the

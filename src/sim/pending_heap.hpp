@@ -37,6 +37,15 @@ class PendingHeap {
     sift_up(kBase + size_ - 1);
   }
 
+  /// Bulk insert: one capacity check for the whole batch, then plain
+  /// pushes (nothrow after the reserve).  Matches the pending-set policy
+  /// interface of CalendarPendingSet::insert_batch; the heap needs no
+  /// ordering precondition on the entries.
+  void insert_batch(const PendingEntry* entries, std::size_t count) {
+    if (size_ + count > cap_) reserve(size_ + count);
+    for (std::size_t i = 0; i < count; ++i) push(entries[i]);
+  }
+
   /// Earliest entry; heap must be non-empty.  (Non-const to match the
   /// pending-set policy interface — other policies sort lazily here.)
   const PendingEntry& min() {

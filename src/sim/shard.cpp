@@ -11,6 +11,8 @@ void Shard::reset(Time lookahead) {
     if (mailbox) mailbox->reset();
   }
   drain_buf_.clear();  // capacity retained
+  post_floor_.clear();  // re-derived by apply_shard_floor when a matrix
+                        // or plan survives the reset (capacity retained)
   messages_received_ = 0;
   in_drain_ = false;
 }
@@ -26,10 +28,18 @@ std::size_t Shard::drain_and_schedule() {
   // — and with them the (time, seq) fire order — replay identically on
   // every run, for every worker-thread count.
   std::sort(drain_buf_.begin(), drain_buf_.end(), msg_before);
-  assert(handler_ != nullptr && "sharded run without a message handler");
+  assert((handler_ != nullptr || batch_handler_ != nullptr) &&
+         "sharded run without a message handler");
   in_drain_ = true;
   try {
-    for (const CrossShardMsg& m : drain_buf_) (*handler_)(*this, m);
+    if (batch_handler_ != nullptr) {
+      // One call for the round: the sorted buffer is a nondecreasing
+      // deliver_at run, which the Engine's handler turns into a single
+      // schedule_batch on the local kernel.
+      (*batch_handler_)(*this, drain_buf_.data(), drain_buf_.size());
+    } else {
+      for (const CrossShardMsg& m : drain_buf_) (*handler_)(*this, m);
+    }
   } catch (...) {
     in_drain_ = false;  // the run aborts, but keep the guard consistent
     throw;

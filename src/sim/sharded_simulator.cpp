@@ -77,13 +77,33 @@ ShardedSimulator::ShardedSimulator(const ShardedConfig& config)
   }
   min_key_[0].store(kInfKey, std::memory_order_relaxed);
   min_key_[1].store(kInfKey, std::memory_order_relaxed);
+  shard_key_ = std::make_unique<PaddedKey[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_key_[i].key.store(kInfKey, std::memory_order_relaxed);
+  }
+  if (!config.lookahead_matrix.empty()) {
+    set_lookahead_matrix(config.lookahead_matrix);
+  }
 }
 
 ShardedSimulator::~ShardedSimulator() = default;
 
 void ShardedSimulator::set_message_handler(ShardMsgHandler handler) {
   handler_ = std::move(handler);
-  for (auto& s : shards_) s->handler_ = &handler_;
+  batch_handler_ = nullptr;
+  for (auto& s : shards_) {
+    s->handler_ = &handler_;
+    s->batch_handler_ = nullptr;
+  }
+}
+
+void ShardedSimulator::set_batch_message_handler(ShardBatchMsgHandler handler) {
+  batch_handler_ = std::move(handler);
+  handler_ = nullptr;
+  for (auto& s : shards_) {
+    s->handler_ = nullptr;
+    s->batch_handler_ = &batch_handler_;
+  }
 }
 
 std::uint64_t ShardedSimulator::run(Time until) {
@@ -91,6 +111,9 @@ std::uint64_t ShardedSimulator::run(Time until) {
   first_error_ = nullptr;
   min_key_[0].store(kInfKey, std::memory_order_relaxed);
   min_key_[1].store(kInfKey, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_key_[i].key.store(kInfKey, std::memory_order_relaxed);
+  }
 
   std::vector<std::thread> workers;
   workers.reserve(threads_ - 1);
@@ -125,12 +148,15 @@ void ShardedSimulator::reset(Time lookahead) {
   for (auto& s : shards_) s->reset(next_lookahead);
   config_.lookahead = next_lookahead;
   if (!(lookahead <= 0.0)) {
-    // Explicit rebind: the installed plan was derived for the previous
-    // routing/schedule, so it dies with it.  A keep-current reset(0)
-    // retains the plan (warm re-runs of the same schedule), but the
-    // shard floors were just rewound by Shard::reset — re-lower them.
+    // Explicit rebind: the installed plan AND pair matrix were derived
+    // for the previous routing/schedule, so they die with it — the
+    // explicit scalar rebuilds the uniform bound (an empty matrix is a
+    // uniform matrix of that scalar).  A keep-current reset(0) retains
+    // both (warm re-runs of the same schedule), but the shard floors
+    // were just rewound by Shard::reset — re-derive them.
     plan_.clear();
-  } else if (!plan_.empty()) {
+    matrix_.clear();
+  } else if (!plan_.empty() || !matrix_.empty()) {
     apply_shard_floor();
   }
   rounds_ = 0;
@@ -157,13 +183,89 @@ void ShardedSimulator::set_lookahead_plan(std::vector<LookaheadEpoch> plan) {
   apply_shard_floor();
 }
 
+void ShardedSimulator::set_lookahead_matrix(std::vector<Time> matrix) {
+  const std::size_t n = shards_.size();
+  if (!matrix.empty() && matrix.size() != n * n) {
+    throw std::invalid_argument(
+        "ShardedSimulator::set_lookahead_matrix: need shards^2 entries");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || matrix.empty()) continue;
+      const Time v = matrix[i * n + j];
+      // Negated > so NaN is rejected too; +infinity (edge-free pair) is
+      // explicitly allowed, unlike the scalar lookahead.
+      if (!(v > 0)) {
+        throw std::invalid_argument(
+            "ShardedSimulator::set_lookahead_matrix: pair lookahead must "
+            "be > 0");
+      }
+    }
+  }
+  if (!matrix.empty()) {
+    // Min-plus transitive closure (Floyd-Warshall over the shard graph),
+    // INCLUDING the diagonal.  The caller's entries bound DIRECT posts
+    // only; a message can reach dst through an intermediary
+    // (src -> k -> dst) after just L[src][k] + L[k][dst] — far sooner
+    // than a +infinity or large direct entry suggests.  The diagonal
+    // D[i][i] becomes the minimum CYCLE cost through i: shard i's own
+    // execution at u can boomerang back (i -> ... -> i) and land at
+    // u + D[i][i], so i's window is bounded by its own clock too — a
+    // bound the uniform-scalar protocol got implicitly from running
+    // every shard to the same tmin + L.  Windows derived from unclosed
+    // entries let a shard run ahead of relayed or reflected traffic and
+    // break the no-arrivals-in-the-past invariant, so the closure is
+    // computed here rather than trusted from the caller.  Entries only
+    // shrink toward the true earliest-influence bound, and closing an
+    // already-closed matrix is a no-op.  (Diagonal inputs are ignored:
+    // the cycle bound is rebuilt from the off-diagonal entries.)
+    for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] = kTimeInfinity;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == k) continue;
+        const Time ik = matrix[i * n + k];
+        if (!std::isfinite(ik)) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == k) continue;
+          const Time via = ik + matrix[k * n + j];
+          Time& d = matrix[i * n + j];
+          if (via < d) d = via;
+        }
+      }
+    }
+  }
+  matrix_ = std::move(matrix);
+  apply_shard_floor();
+}
+
 void ShardedSimulator::apply_shard_floor() {
   // While a plan is installed, Shard::post's assert floor (and
   // SimContext::lookahead()) is the weakest epoch guarantee; the per-epoch
   // contract itself is the model's (documented in set_lookahead_plan).
   Time floor = config_.lookahead;
   for (const LookaheadEpoch& e : plan_) floor = std::min(floor, e.lookahead);
-  for (auto& s : shards_) s->lookahead_ = floor;
+  const std::size_t n = shards_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Shard& s = *shards_[i];
+    s.lookahead_ = floor;
+    if (matrix_.empty()) {
+      s.post_floor_.clear();
+      continue;
+    }
+    // Per-destination assert floors: exactly the bound the window
+    // scheduler derives from (pair_window_end's effective L over the
+    // CLOSED matrix), so a model that would narrow a window the
+    // scheduler already committed to fails the post assert loudly.
+    // Without a plan the closed pair entry applies alone — a post on a
+    // pair with no route at all (+inf even after closure) can never be
+    // legal.
+    s.post_floor_.assign(n, floor);
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst == i) continue;
+      const Time pair = matrix_[i * n + dst];
+      s.post_floor_[dst] = plan_.empty() ? pair : std::min(pair, floor);
+    }
+  }
 }
 
 Time ShardedSimulator::window_end(Time tmin) const {
@@ -181,6 +283,29 @@ Time ShardedSimulator::window_end(Time tmin) const {
     for (; it != plan_.end() && it->from < w; ++it) {
       w = std::min(w, it->from + it->lookahead);
     }
+  }
+  return w;
+}
+
+Time ShardedSimulator::pair_window_end(Time t, std::size_t src,
+                                       std::size_t dst) const {
+  const Time pair = matrix_[src * shards_.size() + dst];
+  if (plan_.empty()) {
+    // The pair bound applies alone; an edge-free pair (+inf) yields an
+    // infinite term, i.e. no constraint from this source.
+    return t + pair;
+  }
+  // Plan installed: the effective src->dst bound at any time u is
+  // min(pair, L_plan(u)) — the epoch scalar is a valid global bound even
+  // where churn invalidated the static matrix, so the min composition
+  // stays conservative.  Same epoch-boundary clamping as window_end.
+  Time w = t + std::min(pair, config_.lookahead);
+  auto it = std::upper_bound(
+      plan_.begin(), plan_.end(), t,
+      [](Time u, const LookaheadEpoch& e) { return u < e.from; });
+  if (it != plan_.begin()) w = t + std::min(pair, std::prev(it)->lookahead);
+  for (; it != plan_.end() && it->from < w; ++it) {
+    w = std::min(w, it->from + std::min(pair, it->lookahead));
   }
   return w;
 }
@@ -222,7 +347,12 @@ void ShardedSimulator::worker_rounds(std::size_t t, Time until) {
         for (std::size_t s = begin; s < end; ++s) {
           shards_[s]->drain_and_schedule();
           const Time nt = shards_[s]->sim_.next_event_time();
-          local_min = std::min(local_min, time_key(nt));
+          const std::uint64_t key = time_key(nt);
+          // Publish this shard's time image for the per-pair window
+          // decision; the drain barrier below sequences it before any
+          // reader (see PaddedKey for the single-buffer argument).
+          shard_key_[s].key.store(key, std::memory_order_relaxed);
+          local_min = std::min(local_min, key);
         }
       } catch (...) {
         record_error();
@@ -243,14 +373,39 @@ void ShardedSimulator::worker_rounds(std::size_t t, Time until) {
     if (kmin == kInfKey) break;  // all shards drained, nothing in flight
     const Time tmin = key_time(kmin);
     if (tmin > until) break;  // horizon reached; beyond-horizon events stay
-    Time w = window_end(tmin);
-    if (!(w > tmin)) w = std::nextafter(tmin, kTimeInfinity);
-    w = std::min(w, horizon_bound);
+    // Uniform-lookahead window (also the matrix path's per-shard floor
+    // fallback is built on the same tmin progress argument below).
+    Time w_global = window_end(tmin);
 
     // ---- process phase: run the window on this worker's shard block.
     if (!failed) {
       try {
         for (std::size_t s = begin; s < end; ++s) {
+          Time w;
+          if (matrix_.empty()) {
+            w = w_global;
+          } else {
+            // Per-shard window: bounded only by sources that can reach
+            // this shard — INCLUDING itself through the closed matrix's
+            // diagonal (the minimum feedback-cycle cost: this shard's
+            // own executions can reflect off a neighbour and return).
+            // A shard with an infinite next-event time executes nothing
+            // this round — it posts nothing, so it contributes no bound;
+            // a shard no finite source constrains runs clear to the
+            // horizon.
+            w = kTimeInfinity;
+            for (std::size_t j = 0; j < n; ++j) {
+              const std::uint64_t kj =
+                  shard_key_[j].key.load(std::memory_order_relaxed);
+              if (kj == kInfKey) continue;
+              w = std::min(w, pair_window_end(key_time(kj), j, s));
+            }
+          }
+          // Progress floor: arrivals from any source land strictly after
+          // tmin (t_j >= tmin, effective L > 0), so events at <= tmin are
+          // always safe — and the global-min shard always advances.
+          if (!(w > tmin)) w = std::nextafter(tmin, kTimeInfinity);
+          w = std::min(w, horizon_bound);
           shards_[s]->sim_.run_before(w);
         }
       } catch (...) {

@@ -78,6 +78,13 @@ struct ShardedConfig {
   std::size_t mailbox_capacity = 4096;
   /// Pin worker t to core t (best-effort; Linux only).
   bool pin_threads = false;
+  /// Optional per-shard-pair lookahead matrix, flattened row-major
+  /// ([src * shards + dst]): a strict lower bound on the simulated-time
+  /// delay of any cross-shard interaction from src into dst.  +infinity
+  /// declares the ordered pair edge-free (no src->dst messages ever).
+  /// Empty = the uniform scalar above bounds every pair.  See
+  /// ShardedSimulator::set_lookahead_matrix for the full contract.
+  std::vector<Time> lookahead_matrix;
 };
 
 class ShardedSimulator {
@@ -96,6 +103,11 @@ class ShardedSimulator {
   /// Install the model's cross-shard message handler (required before
   /// run() whenever shard_count() > 1 and any post() can happen).
   void set_message_handler(ShardMsgHandler handler);
+
+  /// Install a batch drain handler instead: invoked once per drain with
+  /// the round's sorted message array (see ShardBatchMsgHandler).
+  /// Replaces any per-message handler.
+  void set_batch_message_handler(ShardBatchMsgHandler handler);
 
   /// Advance every shard until all queues drain or the global clock
   /// passes `until` (events at exactly `until` are executed, matching
@@ -145,6 +157,38 @@ class ShardedSimulator {
   void set_lookahead_plan(std::vector<LookaheadEpoch> plan);
   const std::vector<LookaheadEpoch>& lookahead_plan() const { return plan_; }
 
+  /// Install a per-shard-pair lookahead matrix, flattened row-major
+  /// ([src * shards + dst]; shards² entries): matrix[src][dst] is a strict
+  /// lower bound on (deliver_at − post time) for every src→dst post, with
+  /// +infinity declaring the ordered pair edge-free (the scheduler then
+  /// derives no bound from it, and any src→dst post is a contract
+  /// violation).  The window scheduler widens each shard's window from
+  /// the uniform  w = tmin + L  to the per-shard
+  ///
+  ///   w_i = min over src j != i with a finite next-event time t_j of
+  ///         pair_window_end(t_j, j, i)
+  ///
+  /// — still conservative (any post from j at u >= t_j arrives at
+  /// >= u + L_eff[j][i] >= w_i; a drained shard executes nothing this
+  /// round, so it posts nothing and contributes no bound), still a pure
+  /// function of the shard time image + plan + matrix, so byte-identical
+  /// determinism across worker-thread counts is untouched.  Composition
+  /// with an installed lookahead plan is by min: the effective src→dst
+  /// bound at time u is min(matrix[src][dst], L_plan(u)) — always safe,
+  /// because the plan's epoch scalar is itself a valid global bound even
+  /// where churn has invalidated the static matrix.  Without a plan the
+  /// matrix entry applies alone (that is the whole widening).
+  ///
+  /// Off-diagonal entries must be > 0 (finite or +infinity); diagonal
+  /// entries are ignored.  An empty matrix restores the uniform scalar.
+  /// reset() with an explicit (positive) lookahead — the rebind seam —
+  /// clears the matrix along with the plan: both were derived for the
+  /// previous routing, and the explicit scalar rebuilds the uniform
+  /// bound (equivalent to a uniform matrix of that scalar).  A
+  /// keep-current reset(0) retains it.
+  void set_lookahead_matrix(std::vector<Time> matrix);
+  const std::vector<Time>& lookahead_matrix() const { return matrix_; }
+
   // -- telemetry ----------------------------------------------------------
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t events_executed() const;
@@ -156,15 +200,31 @@ class ShardedSimulator {
   void worker_rounds(std::size_t t, Time until);
   void record_error() noexcept;
   Time window_end(Time tmin) const;
+  Time pair_window_end(Time t, std::size_t src, std::size_t dst) const;
   void apply_shard_floor();
+
+  /// One cache line per shard: its next-event time key, published by the
+  /// owning worker during the drain phase and read by every worker at the
+  /// window decision.  A SINGLE buffer suffices (unlike min_key_'s round
+  /// parity): round r's writes and reads are separated by the drain
+  /// barrier, and the next writes (round r+1's drain) sit behind the
+  /// process barrier — two barrier edges bracket every read.
+  struct alignas(64) PaddedKey {
+    std::atomic<std::uint64_t> key{0};
+  };
 
   ShardedConfig config_;
   /// Piecewise lookahead plan (empty = uniform config_.lookahead).
   /// Immutable while run() is in flight; workers only read it.
   std::vector<LookaheadEpoch> plan_;
+  /// Flattened pair lookahead matrix (empty = uniform; see
+  /// set_lookahead_matrix).  Immutable while run() is in flight.
+  std::vector<Time> matrix_;
   std::size_t threads_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<PaddedKey[]> shard_key_;  ///< per-shard time image
   ShardMsgHandler handler_;
+  ShardBatchMsgHandler batch_handler_;
   util::SpinBarrier barrier_;
 
   /// Double-buffered min-reduction over next-event time keys, indexed by

@@ -61,6 +61,24 @@ class BasicSimulator {
     return queue_.push(t, std::forward<F>(fn));
   }
 
+  /// Schedule a train of events in one pending-set touch: `make(i)` yields
+  /// the callable fired at `times[i]` (each >= now()).  Fires in exactly
+  /// the order the equivalent loop of schedule_at calls would — sequence
+  /// numbers are assigned in index order — but a nondecreasing train costs
+  /// one calendar day-lookup per run instead of one per event.  No handles
+  /// are returned: batch events are not individually cancellable.
+  /// All-or-nothing on a throw.
+  template <typename Make>
+  void schedule_batch(const Time* times, std::size_t count, Make&& make) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(times[i] >= now_)) {  // rejects NaN as well as past times
+        throw std::invalid_argument(
+            "schedule_batch: time in the past or NaN");
+      }
+    }
+    queue_.push_batch(times, count, std::forward<Make>(make));
+  }
+
   /// Run until the event queue drains or the clock passes `until`.
   /// Returns the number of events executed.
   std::uint64_t run(Time until = kTimeInfinity) {

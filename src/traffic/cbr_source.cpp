@@ -1,5 +1,6 @@
 #include "traffic/cbr_source.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace emcast::traffic {
@@ -14,10 +15,26 @@ CbrSource::CbrSource(const CbrConfig& config) : config_(config) {
 
 void CbrSource::start(sim::SimContext ctx, PacketSink sink, Time until) {
   sink_ = std::move(sink);
-  ctx.schedule_in(config_.phase, [this, ctx, until] { emit(ctx, until); });
+  schedule_train(ctx, ctx.now() + config_.phase, until);
 }
 
-void CbrSource::emit(sim::SimContext ctx, Time until) {
+void CbrSource::schedule_train(sim::SimContext ctx, Time first, Time until) {
+  // The next `batch` tick events in one calendar touch.  Tick times
+  // accumulate sequentially (t_{n+1} = t_n + interval), NOT as
+  // first + i*interval, so the emission instants are bit-identical to
+  // the one-event-at-a-time chain this replaces.
+  constexpr std::size_t kMaxTrain = 64;
+  const std::size_t m = std::clamp<std::size_t>(config_.batch, 1, kMaxTrain);
+  Time times[kMaxTrain];
+  times[0] = first;
+  for (std::size_t i = 1; i < m; ++i) times[i] = times[i - 1] + interval_;
+  ctx.schedule_batch(times, m, [this, ctx, until, m](std::size_t i) {
+    const bool last = i + 1 == m;
+    return [this, ctx, until, last] { emit(ctx, until, last); };
+  });
+}
+
+void CbrSource::emit(sim::SimContext ctx, Time until, bool last) {
   if (ctx.now() > until) return;
   sim::Packet p;
   p.id = ids_.next();
@@ -27,7 +44,7 @@ void CbrSource::emit(sim::SimContext ctx, Time until) {
   p.created = ctx.now();
   p.hop_arrival = ctx.now();
   sink_(std::move(p));
-  ctx.schedule_in(interval_, [this, ctx, until] { emit(ctx, until); });
+  if (last) schedule_train(ctx, ctx.now() + interval_, until);
 }
 
 }  // namespace emcast::traffic

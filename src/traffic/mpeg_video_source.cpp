@@ -53,10 +53,29 @@ void MpegVideoSource::start(sim::SimContext ctx, PacketSink sink, Time until) {
   gop_position_ = static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(kGop.size()) - 1));
   const Time phase = rng_.uniform(0.0, frame_interval_);
-  ctx.schedule_in(phase, [this, ctx, until] { emit_frame(ctx, until); });
+  schedule_train(ctx, ctx.now() + phase, until);
 }
 
-void MpegVideoSource::emit_frame(sim::SimContext ctx, Time until) {
+void MpegVideoSource::schedule_train(sim::SimContext ctx, Time first,
+                                     Time until) {
+  // The next `batch` frame ticks in one calendar touch.  Tick times
+  // accumulate sequentially (t_{n+1} = t_n + frame_interval), matching
+  // the per-event chain bit for bit; frame sizes still draw from the RNG
+  // at fire time, in frame order, so the sample sequence is unchanged.
+  constexpr std::size_t kMaxTrain = 64;
+  const std::size_t m = std::clamp<std::size_t>(config_.batch, 1, kMaxTrain);
+  Time times[kMaxTrain];
+  times[0] = first;
+  for (std::size_t i = 1; i < m; ++i) {
+    times[i] = times[i - 1] + frame_interval_;
+  }
+  ctx.schedule_batch(times, m, [this, ctx, until, m](std::size_t i) {
+    const bool last = i + 1 == m;
+    return [this, ctx, until, last] { emit_frame(ctx, until, last); };
+  });
+}
+
+void MpegVideoSource::emit_frame(sim::SimContext ctx, Time until, bool last) {
   if (ctx.now() > until) return;
   const char type = kGop[gop_position_];
   gop_position_ = (gop_position_ + 1) % kGop.size();
@@ -81,9 +100,7 @@ void MpegVideoSource::emit_frame(sim::SimContext ctx, Time until) {
     remaining -= p.size;
     sink_(std::move(p));
   }
-  ctx.schedule_in(frame_interval_, [this, ctx, until] {
-    emit_frame(ctx, until);
-  });
+  if (last) schedule_train(ctx, ctx.now() + frame_interval_, until);
 }
 
 }  // namespace emcast::traffic

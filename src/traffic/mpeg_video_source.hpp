@@ -30,6 +30,10 @@ struct MpegVideoConfig {
   FlowId flow = 0;
   GroupId group = -1;
   std::uint64_t seed = 1;
+  /// Frame ticks scheduled per schedule_batch call (clamped to [1, 64]).
+  /// Purely a scheduling amortisation: frame instants, RNG draws and
+  /// packets are bit-identical for every value.
+  std::size_t batch = 16;
 };
 
 class MpegVideoSource final : public Source {
@@ -44,7 +48,8 @@ class MpegVideoSource final : public Source {
   Bits mean_frame_size(char type) const;
 
  private:
-  void emit_frame(sim::SimContext ctx, Time until);
+  void schedule_train(sim::SimContext ctx, Time first, Time until);
+  void emit_frame(sim::SimContext ctx, Time until, bool last);
 
   static constexpr std::array<char, 12> kGop = {'I', 'B', 'B', 'P', 'B', 'B',
                                                 'P', 'B', 'B', 'P', 'B', 'B'};

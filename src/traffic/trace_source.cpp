@@ -55,16 +55,44 @@ void TraceSource::start(sim::SimContext ctx, PacketSink sink, Time until) {
   ids_ = sim::PacketIdAllocator{};
   has_current_ = advance();
   if (!has_current_) return;
-  const Time first = current_.time();
-  if (first > until) return;
-  ctx.schedule_at(first, [this, ctx, until] { emit(ctx, until); });
+  if (current_.time() > until) return;
+  schedule_train(ctx, until);
 }
 
-void TraceSource::emit(sim::SimContext ctx, Time until) {
+void TraceSource::schedule_train(sim::SimContext ctx, Time until) {
+  // The next `batch` distinct replay instants, discovered with a
+  // lookahead COPY of the cursor (no records consumed — the live cursor
+  // still feeds emit in order), scheduled in one calendar touch.  The
+  // instants are the records' own timestamps, so batching cannot perturb
+  // them; instants past `until` never enter the batch, mirroring the
+  // old chain's stop condition.
+  constexpr std::size_t kMaxTrain = 64;
+  const std::size_t k = std::clamp<std::size_t>(config_.batch, 1, kMaxTrain);
+  Time times[kMaxTrain];
+  std::size_t m = 0;
+  times[m++] = current_.time();
+  std::uint64_t key = current_.time_key;
+  TraceCursor look = cursor_;
+  while (m < k && !look.done()) {
+    const TraceRecord r = look.next();
+    if (config_.group >= 0 && r.group != config_.group) continue;
+    if (r.time_key == key) continue;
+    if (r.time() > until) break;
+    key = r.time_key;
+    times[m++] = r.time();
+  }
+  ctx.schedule_batch(times, m, [this, ctx, until, m](std::size_t i) {
+    const bool last = i + 1 == m;
+    return [this, ctx, until, last] { emit(ctx, until, last); };
+  });
+}
+
+void TraceSource::emit(sim::SimContext ctx, Time until, bool last) {
   if (ctx.now() > until) return;
   // Emit every record sharing this instant inside one event — the same
-  // burst shape a live source produces — then chain to the next distinct
-  // timestamp.
+  // burst shape a live source produces.  The batch scheduled one event
+  // per upcoming distinct timestamp, so each fires exactly when the
+  // cursor stands at its instant; the batch tail chains the next train.
   const std::uint64_t key = current_.time_key;
   while (has_current_ && current_.time_key == key) {
     sim::Packet p;
@@ -77,10 +105,9 @@ void TraceSource::emit(sim::SimContext ctx, Time until) {
     sink_(std::move(p));
     has_current_ = advance();
   }
-  if (!has_current_) return;
-  const Time next = current_.time();
-  if (next > until) return;
-  ctx.schedule_at(next, [this, ctx, until] { emit(ctx, until); });
+  if (!last || !has_current_) return;
+  if (current_.time() > until) return;
+  schedule_train(ctx, until);
 }
 
 }  // namespace emcast::traffic

@@ -38,6 +38,10 @@ struct TraceSourceConfig {
   const TraceBuffer* trace = nullptr;
   /// Replay only records with this group id; -1 replays every record.
   GroupId group = -1;
+  /// Distinct replay instants scheduled per schedule_batch call (clamped
+  /// to [1, 64]).  Purely a scheduling amortisation: replay instants and
+  /// packets are bit-identical for every value.
+  std::size_t batch = 16;
 };
 
 class TraceSource final : public Source {
@@ -63,7 +67,8 @@ class TraceSource final : public Source {
  private:
   /// Decode forward to the next group-matching record into current_.
   bool advance();
-  void emit(sim::SimContext ctx, Time until);
+  void schedule_train(sim::SimContext ctx, Time until);
+  void emit(sim::SimContext ctx, Time until, bool last);
 
   TraceSourceConfig config_;
   TraceCursor cursor_;

@@ -18,6 +18,7 @@
 #include "sim/fault_injector.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "traffic/cbr_source.hpp"
 #include "traffic/trace_format.hpp"
 #include "traffic/trace_source.hpp"
 
@@ -500,6 +501,86 @@ TEST(EngineAllocation, TraceReplaySteadyStateIsAllocationFree) {
   EXPECT_EQ(delivered, 5000u);
   EXPECT_EQ(g_allocations.load(), before)
       << "trace replay steady state must not allocate";
+}
+
+TEST(EngineAllocation, BatchPushChurnIsAllocationFree) {
+  // The batch scheduling path (PR 8): push_batch stages entries in the
+  // queue's reusable staging buffer and hands them to the pending set in
+  // monotone runs.  After a warm-up that grows the staging buffer to the
+  // largest batch ever used (and promotes the calendar out of small
+  // mode), sustained batch churn — sorted trains, descending batches that
+  // split into runs, and far-tail entries into the overflow year — must
+  // allocate nothing and leave every arena pinned.
+  EventQueue q;
+  constexpr std::size_t kBatch = 64;
+  constexpr int kRounds = 40;
+  double times[kBatch];
+  auto fill = [&times](double base, bool descending) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const double off = 0.01 * static_cast<double>(i);
+      times[i] = descending ? base + 0.64 - off : base + off;
+    }
+  };
+  auto churn = [&](double clock) {
+    for (int round = 0; round < kRounds; ++round) {
+      fill(clock, round % 3 == 2);
+      q.push_batch(times, kBatch, [](std::size_t) { return [] {}; });
+      if (round % 4 == 0) {
+        // Far-tail pair: exercises the overflow-year tail of insert_run.
+        const double far[2] = {clock + 1e7, clock + 1e7 + 1.0};
+        q.push_batch(far, 2, [](std::size_t) { return [] {}; });
+      }
+      // Drain roughly half so pops interleave with batch inserts.
+      for (std::size_t i = 0; i < kBatch / 2 && !q.empty(); ++i) q.pop().fn();
+      clock += 1.0;
+    }
+    while (!q.empty()) q.pop().fn();
+  };
+  // Warm-up: grow the staging buffer, slabs, calendar arrays and the
+  // overflow heap once.  A seed burst leaves small mode so the churn
+  // below runs on the calendar fast path.
+  for (int i = 0; i < 2000; ++i) q.push(0.001 * i, [] {});
+  while (!q.empty()) q.pop().fn();
+  churn(2.0);
+
+  const std::size_t before = g_allocations.load();
+  const auto arenas_before = EventQueueTestPeer::arenas(q);
+  churn(2.0 + kRounds);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "push_batch steady state must not allocate";
+  EXPECT_TRUE(EventQueueTestPeer::arenas(q) == arenas_before)
+      << "batch staging / calendar arenas must not grow or move";
+}
+
+TEST(EngineAllocation, BatchSourceTrainSteadyStateIsAllocationFree) {
+  // The production shape of the batch path: a CBR source emitting through
+  // schedule_batch trains (PR 8).  The first run grows the staging buffer
+  // and the slab to the train's working set; a warm rerun — start()
+  // resets the id sequence, the train capture fits the slot pools — must
+  // allocate nothing.
+  traffic::CbrConfig cfg;
+  cfg.rate = mbps(1.0);
+  cfg.packet_size = bytes(1000);
+  cfg.batch = 32;
+  traffic::CbrSource src(cfg);
+
+  Simulator sim;
+  std::uint64_t delivered = 0;
+  auto run = [&] {
+    delivered = 0;
+    src.start(sim, [&delivered](Packet) { ++delivered; }, 5.0);
+    sim.run(5.0);
+  };
+  run();  // warm-up grows the batch staging buffer and the slot slab
+  const std::uint64_t first = delivered;
+  ASSERT_GT(first, 100u);
+
+  const std::size_t before = g_allocations.load();
+  sim.reset_discarding();
+  run();
+  EXPECT_EQ(delivered, first);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "batched source train steady state must not allocate";
 }
 
 TEST(EngineAllocation, SimulatorEventLoopIsAllocationFree) {

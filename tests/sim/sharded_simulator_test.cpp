@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -89,6 +90,28 @@ TEST(ShardedSimDifferential, RepeatedRunsAreIdentical) {
   ASSERT_TRUE(a.trace == b.trace);
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(ShardedSimDifferential, UnbatchedDeliveryProducesTheSameTrace) {
+  // The A/B baseline the batch-path bench gate divides against: per-copy
+  // deliver() instead of deliver_batch trains must be byte-identical in
+  // every observable — the batch APIs are pure scheduling mechanics.
+  const auto ref = reference_run();
+  for (const std::size_t shards : {1u, 4u}) {
+    ShardedMultigroupConfig cfg = base_config();
+    cfg.shards = shards;
+    cfg.batch_delivery = false;
+    const auto unbatched = run_sharded_multigroup(cfg);
+    EXPECT_EQ(unbatched.deliveries, ref.deliveries) << shards << " shards";
+    EXPECT_EQ(unbatched.worst_case_delay, ref.worst_case_delay);
+    ASSERT_TRUE(unbatched.trace == ref.trace)
+        << shards << " shards: unbatched delivery changed the trace";
+  }
+  ShardedMultigroupConfig single = base_config();
+  single.single_threaded = true;
+  single.batch_delivery = false;
+  ASSERT_TRUE(run_sharded_multigroup(single).trace == ref.trace)
+      << "unbatched single-kernel run changed the trace";
 }
 
 TEST(ShardedSimDifferential, MailboxSpillPathPreservesTheTrace) {
@@ -279,6 +302,152 @@ TEST(ShardedSimulator, ExplicitLookaheadResetClearsThePlan) {
   EXPECT_EQ(sharded.lookahead_plan().size(), 2u);
   sharded.reset(0.3);  // rebind seam: a new run means a new plan
   EXPECT_TRUE(sharded.lookahead_plan().empty());
+}
+
+TEST(ShardedSimulator, LookaheadMatrixValidatesEntries) {
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 0.5;
+  sim::ShardedSimulator sharded(cfg);
+  // Wrong size: 2 shards need 4 entries.
+  EXPECT_THROW(sharded.set_lookahead_matrix({0.5, 0.5, 0.5}),
+               std::invalid_argument);
+  // Off-diagonal entries must be > 0 (NaN rejected by the same negated
+  // comparison); +infinity marks an edge-free pair and is legal.
+  EXPECT_THROW(
+      sharded.set_lookahead_matrix({0.0, 0.0, 1.0, 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(sharded.set_lookahead_matrix(
+                   {0.0, std::numeric_limits<Time>::quiet_NaN(), 1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sharded.set_lookahead_matrix(
+      {kTimeInfinity, 0.5, kTimeInfinity, kTimeInfinity}));
+  EXPECT_NO_THROW(sharded.set_lookahead_matrix({}));  // back to uniform
+  EXPECT_TRUE(sharded.lookahead_matrix().empty());
+}
+
+TEST(ShardedSimulator, LookaheadMatrixStoresTheMinPlusClosure) {
+  // Direct entries only bound direct posts; the installed matrix must be
+  // the min-plus closure so windows respect relayed traffic (0 -> 1 -> 2
+  // reaches shard 2 after 0.3, not the +infinity of the direct entry)
+  // and reflected traffic (the diagonal becomes the min cycle cost).
+  sim::ShardedConfig cfg;
+  cfg.shards = 3;
+  cfg.lookahead = 0.1;
+  sim::ShardedSimulator sharded(cfg);
+  const Time inf = kTimeInfinity;
+  sharded.set_lookahead_matrix({
+      inf, 0.1, inf,   // 0 -> 1 tight, no direct 0 -> 2
+      0.2, inf, 0.1,   // 1 -> 0 and 1 -> 2
+      inf, inf, inf,   // shard 2 posts to no one
+  });
+  const auto& m = sharded.lookahead_matrix();
+  ASSERT_EQ(m.size(), 9u);
+  EXPECT_DOUBLE_EQ(m[0 * 3 + 1], 0.1);
+  EXPECT_DOUBLE_EQ(m[0 * 3 + 2], 0.1 + 0.1);  // through shard 1
+  EXPECT_DOUBLE_EQ(m[1 * 3 + 0], 0.2);
+  EXPECT_DOUBLE_EQ(m[0 * 3 + 0], 0.1 + 0.2);  // cycle 0 -> 1 -> 0
+  EXPECT_DOUBLE_EQ(m[1 * 3 + 1], 0.1 + 0.2);  // cycle 1 -> 0 -> 1
+  EXPECT_EQ(m[2 * 3 + 0], inf);  // shard 2 still reaches no one
+  EXPECT_EQ(m[2 * 3 + 2], inf);
+}
+
+TEST(ShardedSimulator, ExplicitLookaheadResetClearsTheMatrix) {
+  // The regression this pins: reset with an explicit scalar while a pair
+  // matrix is installed must fall back to the uniform bound (an empty
+  // matrix IS a uniform matrix of that scalar) — a stale matrix derived
+  // for the old routing would silently mis-window the next run.
+  sim::ShardedConfig cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 0.25;
+  sim::ShardedSimulator sharded(cfg);
+  sharded.set_lookahead_matrix({kTimeInfinity, 0.5, 1.0, kTimeInfinity});
+  ASSERT_FALSE(sharded.lookahead_matrix().empty());
+  EXPECT_DOUBLE_EQ(sharded.shard(0).post_floor(1), 0.5);
+  EXPECT_DOUBLE_EQ(sharded.shard(1).post_floor(0), 1.0);
+  sharded.reset(0.0);  // keep-current: matrix survives for a warm rerun
+  EXPECT_FALSE(sharded.lookahead_matrix().empty());
+  EXPECT_DOUBLE_EQ(sharded.shard(0).post_floor(1), 0.5);
+  sharded.reset(0.3);  // explicit scalar: back to the uniform bound
+  EXPECT_TRUE(sharded.lookahead_matrix().empty());
+  EXPECT_DOUBLE_EQ(sharded.shard(0).post_floor(1), 0.3);
+  EXPECT_DOUBLE_EQ(sharded.shard(1).post_floor(0), 0.3);
+}
+
+TEST(ShardedSimAsymmetric, PairMatrixWidensWindowsWithoutChangingTheTrace) {
+  // Three shards, each grinding a dense local tick chain; only the
+  // 0 -> 1 pair is tight (0.1), every other pair is loose (10.0).  The
+  // uniform protocol must run EVERY shard in 0.1-wide windows (the
+  // global min bounds everyone); the pair matrix frees shards 0 and 2 to
+  // leap (nothing tight can reach them), shard 0 then drains, and shard
+  // 1's constraint evaporates — the whole run collapses into a handful
+  // of rounds.  The executed events, their times, and the one real
+  // cross-shard arrival must stay identical either way.
+  struct RunResult {
+    std::vector<Time> ticks[3];
+    std::vector<Time> arrivals;
+    std::uint64_t rounds = 0;
+  };
+  const auto run = [](bool with_matrix) {
+    sim::ShardedConfig cfg;
+    cfg.shards = 3;
+    cfg.threads = 3;
+    cfg.lookahead = 0.1;  // the scalar the matrix competes against
+    if (with_matrix) {
+      const Time inf = kTimeInfinity;
+      cfg.lookahead_matrix = {
+          inf, 0.1, 10.0,   // 0 -> 1 tight
+          10.0, inf, 10.0,  //
+          10.0, 10.0, inf,  //
+      };
+    }
+    sim::ShardedSimulator sharded(cfg);
+    RunResult r;
+    sharded.set_message_handler(
+        [&r](sim::Shard& shard, const sim::CrossShardMsg& m) {
+          shard.sim().schedule_at(m.deliver_at, [&r, &shard] {
+            r.arrivals.push_back(shard.now());
+          });
+        });
+    // Dense local work: 0.01 ticks to t = 8 on every shard.
+    for (std::size_t s = 0; s < 3; ++s) {
+      sim::Simulator& kernel = sharded.shard(s).sim();
+      struct Tick {
+        sim::Simulator* kernel;
+        std::vector<Time>* out;
+        void operator()() const {
+          out->push_back(kernel->now());
+          if (kernel->now() < 8.0) {
+            kernel->schedule_in(0.01, Tick{kernel, out});
+          }
+        }
+      };
+      kernel.schedule_at(0.0, Tick{&kernel, &r.ticks[s]});
+    }
+    // One real cross-shard message on the tight pair, well ahead of the
+    // pair floor (0.1): arrives at exactly 5.0 in both protocols.
+    sharded.shard(0).sim().schedule_at(0.5, [&sharded] {
+      sim::Packet p;
+      p.id = 42;
+      sharded.shard(0).post(1, p, 0, 5.0);
+    });
+    sharded.run(8.0);
+    r.rounds = sharded.rounds();
+    return r;
+  };
+
+  const RunResult uniform = run(false);
+  const RunResult paired = run(true);
+  for (std::size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(paired.ticks[s], uniform.ticks[s]) << "shard " << s;
+  }
+  ASSERT_EQ(paired.arrivals, uniform.arrivals);
+  ASSERT_EQ(paired.arrivals.size(), 1u);
+  EXPECT_DOUBLE_EQ(paired.arrivals[0], 5.0);
+  // The point of the matrix: strictly fewer synchronisation rounds —
+  // and not marginally so.
+  EXPECT_LT(paired.rounds, uniform.rounds / 4);
+  EXPECT_GT(uniform.rounds, 50u);
 }
 
 }  // namespace

@@ -24,6 +24,12 @@ Without --baseline the newest BENCH_pr<N>.json in the repository root
 the baseline but missing from the current run are reported as warnings,
 not failures, so retired benchmarks do not wedge CI.
 
+Both files' JSON ``context`` blocks are reported next to the verdicts
+(core count and build flags, as stamped by the benches'
+EMCAST_BENCH_MAIN()); a core-count or build-flags mismatch between the
+runs prints a WARNING, since absolute numbers across differently-shaped
+machines are noise — use the A/B gate for those pairs.
+
 ``--ab-only`` switches the gate to the interleaved A/B pairs the bench
 binaries already emit: a benchmark ``BM_X.../arg`` is paired with its
 in-run baseline variant ``BM_X...<suffix>/arg`` (suffix ``Heap`` by
@@ -46,6 +52,52 @@ from pathlib import Path
 
 class BenchCompareError(Exception):
     """Unusable input (missing files, no comparable benchmarks)."""
+
+
+def load_context(path):
+    """The run's machine/build shape from a google-benchmark JSON.
+
+    Returns {"cores": int|None, "build": str|None}.  Core count prefers
+    the ``hw_cores`` custom context EMCAST_BENCH_MAIN() stamps (what
+    hardware_concurrency reported to the sharded scheduler — the number
+    that decides worker-thread counts on cgroup-limited runners), falling
+    back to google-benchmark's own ``num_cpus``.  Build prefers the
+    stamped ``build_flags`` over ``library_build_type``.
+    """
+    with open(path) as f:
+        ctx = json.load(f).get("context", {})
+    cores = ctx.get("hw_cores", ctx.get("num_cpus"))
+    try:
+        cores = int(cores)
+    except (TypeError, ValueError):
+        cores = None
+    build = ctx.get("build_flags", ctx.get("library_build_type"))
+    return {"cores": cores, "build": build}
+
+
+def context_warnings(current_ctx, baseline_ctx):
+    """Lines flagging machine/build mismatches between two runs.
+
+    A differing core count makes absolute throughput numbers meaningless
+    for the parallel benches (the sharded sweep's thread counts change),
+    and a differing build renders every number incomparable; both warn
+    rather than fail so the A/B-ratio gate — which cancels machine shape
+    out — can still be used on such pairs.
+    """
+    warnings = []
+    cur_cores, base_cores = current_ctx["cores"], baseline_ctx["cores"]
+    if cur_cores is not None and base_cores is not None \
+            and cur_cores != base_cores:
+        warnings.append(
+            f"WARNING  core count differs: baseline ran on {base_cores} "
+            f"core(s), current on {cur_cores} — absolute numbers are not "
+            "comparable (prefer --ab-only)")
+    cur_build, base_build = current_ctx["build"], baseline_ctx["build"]
+    if cur_build and base_build and cur_build != base_build:
+        warnings.append(
+            f"WARNING  build flags differ: baseline {base_build!r}, "
+            f"current {cur_build!r}")
+    return warnings
 
 
 def load_medians(path):
@@ -226,6 +278,8 @@ def main(argv=None):
         baseline_path = args.baseline or newest_snapshot(args.repo_root)
         current = load_medians(args.current)
         baseline = load_medians(baseline_path)
+        current_ctx = load_context(args.current)
+        baseline_ctx = load_context(baseline_path)
         if args.ab_only:
             failures, lines = compare_ab(current, baseline, args.threshold,
                                          args.tracked, args.ab_suffix)
@@ -236,7 +290,15 @@ def main(argv=None):
         print(f"bench_compare: {err}", file=sys.stderr)
         return 2
 
-    print(f"baseline: {baseline_path}")
+    def shape(ctx):
+        cores = ctx["cores"] if ctx["cores"] is not None else "?"
+        build = ctx["build"] or "unknown build"
+        return f"{cores} core(s), {build}"
+
+    print(f"baseline: {baseline_path}  [{shape(baseline_ctx)}]")
+    print(f"current:  {args.current}  [{shape(current_ctx)}]")
+    for line in context_warnings(current_ctx, baseline_ctx):
+        print(line)
     for line in lines:
         print(line)
     if failures:

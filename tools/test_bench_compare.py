@@ -18,8 +18,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_compare  # noqa: E402
 
 
-def bench_json(entries):
-    return {"context": {"date": "t"}, "benchmarks": entries}
+def bench_json(entries, context=None):
+    return {"context": context or {"date": "t"}, "benchmarks": entries}
 
 
 def iteration(name, items_per_second=None, real_time=None):
@@ -220,6 +220,69 @@ class BenchCompareTest(unittest.TestCase):
         ]))
         self.assertEqual(
             self.run_main(cur, base, ["--ab-only", "--ab-suffix", "Ref"]), 1)
+
+    # -- machine/build context ---------------------------------------------
+
+    def test_context_prefers_stamped_hw_cores_and_build_flags(self):
+        path = self.write("c.json", bench_json(
+            [iteration("BM_X/1", 1e6, 100.0)],
+            context={"num_cpus": 64, "hw_cores": "4",
+                     "library_build_type": "release",
+                     "build_flags": "Release: -O2 -DNDEBUG"}))
+        ctx = bench_compare.load_context(path)
+        self.assertEqual(ctx["cores"], 4)
+        self.assertEqual(ctx["build"], "Release: -O2 -DNDEBUG")
+
+    def test_context_falls_back_to_gbench_fields(self):
+        path = self.write("c.json", bench_json(
+            [iteration("BM_X/1", 1e6, 100.0)],
+            context={"num_cpus": 8, "library_build_type": "debug"}))
+        ctx = bench_compare.load_context(path)
+        self.assertEqual(ctx["cores"], 8)
+        self.assertEqual(ctx["build"], "debug")
+
+    def test_context_missing_fields_are_none(self):
+        path = self.write("c.json", bench_json(
+            [iteration("BM_X/1", 1e6, 100.0)]))
+        ctx = bench_compare.load_context(path)
+        self.assertIsNone(ctx["cores"])
+        self.assertIsNone(ctx["build"])
+
+    def test_differing_core_counts_warn(self):
+        warnings = bench_compare.context_warnings(
+            {"cores": 8, "build": "release"},
+            {"cores": 1, "build": "release"})
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("core count differs", warnings[0])
+        self.assertIn("--ab-only", warnings[0])
+
+    def test_differing_build_flags_warn(self):
+        warnings = bench_compare.context_warnings(
+            {"cores": 4, "build": "Debug: -O0"},
+            {"cores": 4, "build": "Release: -O2 -DNDEBUG"})
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("build flags differ", warnings[0])
+
+    def test_matching_or_unknown_context_is_silent(self):
+        self.assertEqual(bench_compare.context_warnings(
+            {"cores": 4, "build": "x"}, {"cores": 4, "build": "x"}), [])
+        self.assertEqual(bench_compare.context_warnings(
+            {"cores": None, "build": None}, {"cores": 4, "build": "x"}), [])
+
+    def test_core_count_mismatch_warns_but_does_not_fail_the_gate(self):
+        # The mismatch downgrades trust, it does not veto: flat numbers on
+        # differing machines still exit 0, with the warning printed.
+        base = self.write("base.json", bench_json(
+            [iteration("BM_X/1", 1e6, 100.0)], context={"hw_cores": 1}))
+        cur = self.write("cur.json", bench_json(
+            [iteration("BM_X/1", 1e6, 100.0)], context={"hw_cores": 8}))
+        import contextlib
+        import io
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = self.run_main(cur, base)
+        self.assertEqual(code, 0)
+        self.assertIn("core count differs", out.getvalue())
 
     # -- snapshot discovery ------------------------------------------------
 
