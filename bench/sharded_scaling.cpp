@@ -22,6 +22,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "bench_common.hpp"
 
 #include "experiments/sharded_multigroup.hpp"
@@ -97,6 +100,77 @@ void BM_ShardedScalingUnbatched(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedScalingUnbatched)
     ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// ---- host-count sweep axis (PR 9) -------------------------------------
+//
+//   BM_HostScaleSweep/<hosts>/<shards>    hierarchical underlay + compact
+//                                         host state (the 10^6-host path)
+//   BM_HostScaleSweepUnbatched/...        per-copy deliver() twin: the
+//       in-run A/B baseline for the pair-ratio gate (bench_compare.py
+//       --ab-only --ab-suffix Unbatched), sized for CI at 10^4 hosts.
+//
+// The per-host counters are the acceptance axis of the scale subsystem:
+//   events_per_host   events/s/host — should stay ~flat as N grows
+//                     (fan-out work per host is bounded by tree degree);
+//   bytes_per_host    HostTable lanes + side tables, per host — the
+//                     memory line that must NOT grow with N;
+//   provider_mb       delay-provider footprint (compact oracle: R² + M,
+//                     not (R + M)²).
+// Router count scales ~N/256 to hold the mean attachment-domain size.
+ShardedMultigroupConfig sweep_config(std::size_t hosts, std::size_t shards,
+                                     bool batch_delivery) {
+  ShardedMultigroupConfig cfg;
+  cfg.kind = emcast::experiments::TrafficKind::Audio;
+  cfg.groups = 3;
+  cfg.hosts = hosts;
+  cfg.routers = std::max<std::size_t>(16, hosts / 256);
+  cfg.duration = 0.5;
+  cfg.warmup = 0.1;
+  cfg.seed = 11;
+  cfg.shards = shards;
+  cfg.batch_delivery = batch_delivery;
+  cfg.sample_deliveries = 128;
+  return cfg;
+}
+
+void run_host_sweep(benchmark::State& state, bool batch_delivery) {
+  const ShardedMultigroupConfig cfg =
+      sweep_config(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1)), batch_delivery);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto r = run_sharded_multigroup(cfg);
+    state.SetIterationTime(r.run_seconds);
+    events += r.events_executed;
+    state.counters["threads"] = static_cast<double>(r.threads);
+    state.counters["bytes_per_host"] = r.bytes_per_host;
+    state.counters["provider_mb"] =
+        static_cast<double>(r.delay_provider_bytes) / (1024.0 * 1024.0);
+    state.counters["events_per_host"] =
+        static_cast<double>(r.events_executed) /
+        (r.run_seconds * static_cast<double>(cfg.hosts));
+    state.counters["p99_ms"] = r.delay_p99 * 1e3;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_HostScaleSweep(benchmark::State& state) {
+  run_host_sweep(state, true);
+}
+BENCHMARK(BM_HostScaleSweep)
+    ->ArgsProduct({{1024, 4096, 10000}, {1, 4}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_HostScaleSweepUnbatched(benchmark::State& state) {
+  run_host_sweep(state, false);
+}
+BENCHMARK(BM_HostScaleSweepUnbatched)
+    ->ArgsProduct({{1024, 4096, 10000}, {1, 4}})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

@@ -80,6 +80,25 @@ std::size_t AdaptiveHost::flow_index(FlowId id) const {
 
 void AdaptiveHost::set_warmup(Time t) { tracer_.set_warmup(t); }
 
+std::size_t AdaptiveHost::memory_bytes() const {
+  // memory-budget convention (see core::Mux): by-value members are
+  // inside sizeof(*this) already, so only their heap is added.
+  std::size_t bytes = sizeof(*this);
+  bytes += mux_.memory_bytes() - sizeof(Mux);
+  bytes += config_.flows.capacity() * sizeof(traffic::FlowSpec);
+  bytes += buckets_.capacity() * sizeof(buckets_[0]);
+  for (const auto& b : buckets_) {
+    if (b) bytes += b->memory_bytes();
+  }
+  if (bank_) bytes += bank_->memory_bytes();
+  bytes += estimators_.capacity() * sizeof(RateEstimator);
+  for (const auto& e : estimators_) {
+    bytes += e.memory_bytes() - sizeof(RateEstimator);
+  }
+  bytes += tracer_.memory_bytes() - sizeof(sim::DelayTracer);
+  return bytes;
+}
+
 void AdaptiveHost::offer(sim::Packet p) {
   const std::size_t i = flow_index(p.flow);
   p.hop_arrival = ctx_.now();

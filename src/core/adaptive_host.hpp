@@ -106,6 +106,11 @@ class AdaptiveHost {
   /// Set the warm-up horizon for delay statistics (see DelayTracer).
   void set_warmup(Time t);
 
+  /// Whole-pipeline footprint: self, regulators, bank, estimators, queue
+  /// contents and tracer heap.  Feeds the per-host memory budget of the
+  /// scale experiments (approximate: allocator overhead is not priced).
+  std::size_t memory_bytes() const;
+
   const AdaptiveHostConfig& config() const { return config_; }
 
  private:

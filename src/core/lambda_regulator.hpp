@@ -65,6 +65,17 @@ class LambdaRegulatorBank {
   /// by the adaptive host to migrate backlog when switching models.
   std::vector<sim::Packet> drain();
 
+  /// Self plus owned heap (memory-budget convention, see core::Mux; the
+  /// small TurnSchedule heap is priced inside sizeof via its slot count
+  /// approximation being negligible and is ignored).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = sizeof(*this) +
+                        flows_.capacity() * sizeof(traffic::FlowSpec) +
+                        queues_.capacity() * sizeof(sim::FifoQueue);
+    for (const auto& q : queues_) bytes += q.heap_bytes();
+    return bytes;
+  }
+
  private:
   std::size_t flow_index(FlowId id) const;
   void begin_period(Time start);

@@ -25,6 +25,11 @@ class RateEstimator {
 
   Time window() const { return window_; }
 
+  /// Self plus bin heap (memory-budget convention, see core::Mux).
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + bins_.capacity() * sizeof(Bits);
+  }
+
  private:
   void advance_to(Time t) const;
   std::size_t bin_of(Time t) const;

@@ -33,6 +33,11 @@ class TokenBucketRegulator {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t rejected() const { return rejected_; }  ///< oversized drops
 
+  /// Self plus queued-entry heap (memory-budget convention, see Mux).
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + queue_.heap_bytes();
+  }
+
  private:
   void refill_to_now() const;
   void try_release();

@@ -28,4 +28,17 @@ using DeliveryTrace = std::vector<DeliveryRecord>;
 /// Sort into the canonical (time_key, group, packet_id, host) order.
 void canonicalize(DeliveryTrace& trace);
 
+/// Key for the bounded k-min delivery sample (util::KMinSample): a pure
+/// function of the record, so the winning set cannot depend on shard
+/// layout, thread count or event order — only on the delivered multiset.
+inline std::uint64_t delivery_sample_key(const DeliveryRecord& rec) {
+  std::uint64_t k = rec.time_key;
+  k += 0x9e3779b97f4a7c15ULL * rec.packet_id;
+  k += 0xbf58476d1ce4e5b9ULL *
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(rec.host));
+  k += 0x94d049bb133111ebULL *
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(rec.group));
+  return k;
+}
+
 }  // namespace emcast::experiments

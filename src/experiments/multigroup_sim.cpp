@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "core/mux.hpp"
 #include "netcalc/dsct_bounds.hpp"
@@ -16,8 +17,11 @@
 #include "sim/pending_entry.hpp"
 #include "sim/tracer.hpp"
 #include "topology/backbone.hpp"
+#include "topology/hierarchical.hpp"
+#include "topology/host_table.hpp"
 #include "traffic/trace_recorder.hpp"
 #include "traffic/trace_source.hpp"
+#include "util/stats.hpp"
 
 namespace emcast::experiments {
 
@@ -54,6 +58,25 @@ const topology::AttachedNetwork& default_network(std::size_t hosts,
   return *slot;
 }
 
+const topology::AttachedNetwork& default_hierarchical_network(
+    std::size_t routers, std::size_t hosts, std::uint64_t seed) {
+  static std::mutex mutex;
+  static std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>,
+                  std::unique_ptr<topology::AttachedNetwork>>
+      cache;
+  std::lock_guard lock(mutex);
+  auto& slot = cache[{routers, hosts, seed}];
+  if (!slot) {
+    topology::HierarchicalConfig hc;
+    hc.routers = routers;
+    hc.hosts = hosts;
+    hc.seed = seed;
+    slot = std::make_unique<topology::AttachedNetwork>(
+        topology::make_hierarchical(hc));
+  }
+  return *slot;
+}
+
 namespace {
 
 overlay::TreeScheme scheme_for(const MultiGroupSimConfig& config) {
@@ -67,7 +90,11 @@ overlay::TreeScheme scheme_for(const MultiGroupSimConfig& config) {
 }
 
 overlay::MultiGroupNetwork build_trees(const MultiGroupSimConfig& config) {
-  const auto& net = default_network(config.hosts, 42);
+  const auto& net =
+      config.routers > 0
+          ? default_hierarchical_network(config.routers, config.hosts,
+                                         config.topology_seed)
+          : default_network(config.hosts, config.topology_seed);
   overlay::MultiGroupConfig mc;
   mc.groups = config.groups;
   mc.scheme = scheme_for(config);
@@ -268,6 +295,7 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   struct ShardState {
     sim::DelayTracer tracer;
     DeliveryTrace trace;
+    util::KMinSample<DeliveryRecord> sample{0};
     std::uint64_t losses = 0;
     std::uint64_t churn_losses = 0;
     std::uint64_t violations_repair = 0;
@@ -277,7 +305,15 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     std::uint64_t reconv_count = 0;
   };
   std::vector<ShardState> shard_state(engine.shard_count());
-  for (auto& s : shard_state) s.tracer.set_warmup(config.warmup);
+  for (auto& s : shard_state) {
+    s.tracer.set_warmup(config.warmup);
+    // Per-shard streaming summaries (O(shards), never O(hosts)): the
+    // log-binned quantile sketch and the bounded k-min delivery sample.
+    // Both merge order-independently, so the post-run fold is identical
+    // for every shard count.
+    s.tracer.enable_quantiles();
+    s.sample = util::KMinSample<DeliveryRecord>(config.sample_deliveries);
+  }
 
   // Per-kernel membership replicas (see churn_schedule.hpp): every kernel
   // replays the identical fault timeline against its own copy, so tree
@@ -327,22 +363,20 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   // at least one tree need one.  Each pipeline is built against the
   // context of the shard owning the host, so all of its events —
   // regulators, bank slots, MUX service, control ticks — are shard-local.
-  struct HostCtx {
+  //
+  // Scale layout: a host's only per-host footprint is its HostTable lane
+  // entry; pipelines live in a DENSE array holding forwarders only,
+  // reached through the table's pipeline-index lane.  Pure receivers —
+  // the majority of hosts in any bounded-fan-out tree — cost the lane
+  // stride and nothing else (the old per-host struct carried two
+  // unique_ptrs plus a std::function for every host, forwarding or not).
+  struct Pipeline {
     std::unique_ptr<core::AdaptiveHost> regulated;
     std::unique_ptr<core::Mux> plain;  ///< capacity-aware shared uplink
-    std::function<void(sim::Packet)> to_forwarder;
-    void offer(sim::Packet p, Time now) {
-      if (regulated) {
-        regulated->offer(std::move(p));
-      } else {
-        // Capacity-aware: no input regulation; go straight to replication
-        // (copies pass through the shared uplink MUX).
-        p.hop_arrival = now;
-        to_forwarder(std::move(p));
-      }
-    }
+    std::uint32_t host = 0;            ///< owning host index (probes)
   };
-  std::vector<HostCtx> hosts(n);
+  topology::HostTable table(n);
+  std::vector<Pipeline> pipelines;
 
   const bool capacity_aware =
       config.regulation == RegulationScheme::CapacityAware;
@@ -355,13 +389,15 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
 
   // Failure injection: one bursty loss process per receiving member (the
   // access path is where loss happens), shared across its incoming edges.
-  // Host-local state, so it lives on the owning shard's timeline.
-  std::vector<std::unique_ptr<sim::LossModel>> loss(n);
+  // Host-local state, so it lives on the owning shard's timeline.  Stored
+  // by value (lossless runs hold an empty vector): ~48 bytes per host
+  // when on, zero heap objects either way.
+  std::vector<sim::GilbertElliottLoss> loss;
   if (config.loss_rate > 0.0) {
+    loss.reserve(n);
     for (std::size_t h = 0; h < n; ++h) {
-      loss[h] = std::make_unique<sim::GilbertElliottLoss>(
-          config.loss_rate, config.loss_burst,
-          config.seed * 604171ULL + h);
+      loss.emplace_back(config.loss_rate, config.loss_burst,
+                        config.seed * 604171ULL + h);
     }
   }
 
@@ -380,11 +416,12 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     if (capacity_aware) {
       // One copy per child through the shared uplink MUX; the sink routes
       // each copy by its dest field.
+      core::Mux& uplink = *pipelines[table.pipeline(h)].plain;
       for (std::size_t child : children) {
         sim::Packet copy = p;
         copy.dest = static_cast<std::int32_t>(child);
         copy.hop_arrival = ctx.now();
-        hosts[h].plain->offer(std::move(copy));
+        uplink.offer(std::move(copy));
       }
       return;
     }
@@ -411,6 +448,22 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
       ctx.deliver_batch(train, m);
     }
   };
+  // Pipeline entry: regulated hosts queue into their AdaptiveHost;
+  // capacity-aware (and source) traffic goes straight to replication.
+  // One function object for the whole run — the per-host closure the old
+  // layout kept (a std::function per HostCtx) is gone.
+  std::function<void(std::size_t, sim::Packet, Time)> offer_host =
+      [&](std::size_t h, sim::Packet p, Time now) {
+        Pipeline& pl = pipelines[table.pipeline(h)];
+        if (pl.regulated) {
+          pl.regulated->offer(std::move(p));
+        } else {
+          // Capacity-aware: no input regulation; go straight to
+          // replication (copies pass through the shared uplink MUX).
+          p.hop_arrival = now;
+          forward(h, std::move(p));
+        }
+      };
   // The engine's delivery handler runs at the arrival time on the kernel
   // owning the destination: record the end-to-end delay and forward
   // onwards if the member has children.
@@ -428,7 +481,7 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
         return;
       }
     }
-    if (loss[h] && loss[h]->drop()) {
+    if (!loss.empty() && loss[h].drop()) {
       ++ss.losses;  // the copy (and its would-be subtree) is lost
       return;
     }
@@ -441,15 +494,19 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
         ++ss.violations_steady;
       }
     }
-    if (config.collect_trace) {
-      ss.trace.push_back(
-          DeliveryRecord{sim::time_key(ctx.now()), p.id, p.group, host});
+    if (config.collect_trace || config.sample_deliveries > 0) {
+      const DeliveryRecord rec{sim::time_key(ctx.now()), p.id, p.group,
+                               host};
+      if (config.collect_trace) ss.trace.push_back(rec);
+      if (config.sample_deliveries > 0) {
+        ss.sample.offer(delivery_sample_key(rec), rec);
+      }
     }
     const auto& onward =
         churn_on ? replicas[ctx.shard_index()].tree(p.group).children(h)
                  : mg.tree(p.group).children(h);
     if (!onward.empty()) {
-      hosts[h].offer(p, ctx.now());
+      offer_host(h, p, ctx.now());
     }
   });
   // Uplink sink for capacity-aware hosts: the copy has left the shared
@@ -487,6 +544,11 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     // it orphans, so every host gets a pipeline up front (building one
     // mid-run would race the packet flow and allocate on the hot path).
     if (!forwards && !churn_on) continue;
+    table.pipeline(h) = static_cast<std::uint32_t>(pipelines.size());
+    table.flags(h) |= 1;  // forwarder bit
+    pipelines.emplace_back();
+    Pipeline& pl = pipelines.back();
+    pl.host = static_cast<std::uint32_t>(h);
     const sim::SimContext host_ctx =
         engine.context_for_host(static_cast<HostId>(h));
     auto sink = [&forward, h](sim::Packet p) { forward(h, std::move(p)); };
@@ -512,9 +574,9 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
           std::clamp(config.utilization + 0.04, 0.60, 0.99);
       const Rate uplink = std::max(capacity * host_capacity_factor,
                                    carried / target_util);
-      hosts[h].plain =
+      pl.plain =
           std::make_unique<core::Mux>(host_ctx, uplink, uplink_sink(h));
-      hosts[h].to_forwarder = sink;
+      table.uplink(h) = uplink;
     } else {
       core::AdaptiveHostConfig hc;
       hc.flows = scenario.specs;
@@ -538,25 +600,50 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
       }
       const double depth = depth_cnt ? depth_sum / depth_cnt : 0.0;
       hc.lambda_epoch_offset = depth * mean_hop_latency;
-      hosts[h].regulated =
+      pl.regulated =
           std::make_unique<core::AdaptiveHost>(host_ctx, hc, sink);
-      hosts[h].regulated->set_warmup(config.warmup);
+      pl.regulated->set_warmup(config.warmup);
     }
+  }
+
+  // Host-state memory budget: the SoA lanes plus every out-of-table block
+  // hung off a host, reported per host into the result (the scale gate's
+  // bytes/host counter).  Pipeline internals self-report via the
+  // memory_bytes() convention.
+  {
+    std::size_t pipeline_bytes = pipelines.capacity() * sizeof(Pipeline);
+    for (const Pipeline& pl : pipelines) {
+      if (pl.regulated) pipeline_bytes += pl.regulated->memory_bytes();
+      if (pl.plain) pipeline_bytes += pl.plain->memory_bytes();
+    }
+    table.register_side_table("pipelines", pipeline_bytes);
+    table.register_side_table(
+        "loss_models", loss.capacity() * sizeof(sim::GilbertElliottLoss));
+    std::size_t summary_bytes = 0;
+    for (const ShardState& s : shard_state) {
+      summary_bytes += s.tracer.memory_bytes() + s.sample.memory_bytes();
+    }
+    table.register_side_table("shard_summaries", summary_bytes);
+    const topology::HostMemoryBudget budget = table.budget();
+    r.host_state_bytes = budget.total_bytes();
+    r.bytes_per_host = budget.bytes_per_host();
+    r.delay_provider_bytes = mg.delay_memory_bytes();
   }
 
   // Small-capture bridge: source sinks and re-convergence probes live in
   // 56-byte inline-function slots, so they reach the frame state through
   // one pointer instead of capturing it piecewise.
   struct ChurnRuntime {
-    std::vector<HostCtx>* hosts = nullptr;
+    std::function<void(std::size_t, sim::Packet, Time)>* offer = nullptr;
+    std::vector<Pipeline>* pipelines = nullptr;
     std::vector<ChurnState>* replicas = nullptr;
     std::vector<ShardState>* shard_state = nullptr;
     const overlay::MultiGroupNetwork* mg = nullptr;
     sim::Engine* engine = nullptr;
     Time settle = 0;
     bool churn_on = false;
-  } rt{&hosts,  &replicas, &shard_state,
-       &mg,     &engine,   config.churn.settle_window,
+  } rt{&offer_host, &pipelines, &replicas, &shard_state,
+       &mg,         &engine,    config.churn.settle_window,
        churn_on};
 
   // Sources inject into their group's root pipeline (on the root's shard).
@@ -594,7 +681,7 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
                                   .children(src_host)
                             : rtp->mg->tree(p.group).children(src_host);
           if (!children.empty()) {
-            (*rtp->hosts)[src_host].offer(std::move(p), src_ctx.now());
+            (*rtp->offer)(src_host, std::move(p), src_ctx.now());
           }
         },
         config.duration);
@@ -617,14 +704,15 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
       const Time done = ctx.now();
       ctx.schedule_at(done + rt.settle, [rtp = &rt, ctx, done] {
         ShardState& ss = (*rtp->shard_state)[ctx.shard_index()];
-        const auto& hosts = *rtp->hosts;
-        for (std::size_t h = 0; h < hosts.size(); ++h) {
-          if (!hosts[h].regulated) continue;
-          if (rtp->engine->shard_of_host(static_cast<HostId>(h)) !=
+        // Dense scan: every regulated pipeline carries its host index, so
+        // the probe walks forwarders only instead of all n hosts.
+        for (const Pipeline& pl : *rtp->pipelines) {
+          if (!pl.regulated) continue;
+          if (rtp->engine->shard_of_host(static_cast<HostId>(pl.host)) !=
               ctx.shard_index()) {
             continue;
           }
-          const Time t = hosts[h].regulated->last_mode_switch_time();
+          const Time t = pl.regulated->last_mode_switch_time();
           if (t > done && t <= done + rtp->settle) {
             ss.reconv_sum += t - done;
             ss.reconv_max = std::max(ss.reconv_max, t - done);
@@ -639,9 +727,12 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   engine.run(config.duration + 3.0);
 
   sim::DelayTracer merged(config.warmup);
+  merged.enable_quantiles();
+  util::KMinSample<DeliveryRecord> merged_sample(config.sample_deliveries);
   std::uint64_t losses = 0;
   for (auto& s : shard_state) {
     merged.merge(s.tracer);
+    merged_sample.merge(s.sample);
     losses += s.losses;
     r.churn_losses += s.churn_losses;
     r.violations_in_repair += s.violations_repair;
@@ -665,6 +756,9 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   r.worst_case_delay = merged.worst_case();
   r.mean_delay = merged.all().mean();
   r.deliveries = merged.all().count();
+  r.delay_p50 = merged.quantile(0.5);
+  r.delay_p99 = merged.quantile(0.99);
+  if (config.sample_deliveries > 0) r.sample = merged_sample.records();
   r.losses = losses;
   const double attempts = static_cast<double>(r.deliveries + r.losses);
   r.delivery_ratio = attempts > 0
@@ -674,8 +768,8 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     r.max_layers = std::max(r.max_layers, mg.tree(g).hierarchy_layers());
     r.max_height_hops = std::max(r.max_height_hops, mg.tree(g).height_hops());
   }
-  for (const auto& h : hosts) {
-    if (h.regulated) r.mode_switches += h.regulated->mode_switches();
+  for (const Pipeline& pl : pipelines) {
+    if (pl.regulated) r.mode_switches += pl.regulated->mode_switches();
   }
   r.shards = engine.shard_count();
   r.threads = engine.thread_count();

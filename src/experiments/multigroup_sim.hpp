@@ -52,6 +52,15 @@ struct MultiGroupSimConfig {
   int groups = 3;
   std::size_t hosts = 665;
   std::size_t cluster_k = 3;    ///< DSCT/NICE k
+  /// Underlay selection: 0 keeps the paper's fixed 19-router Fig. 5
+  /// backbone (the default, bit-exact with every historical run); > 0
+  /// generates a hierarchical transit-stub underlay with that many
+  /// routers (topology/hierarchical.hpp) whose compact delay oracle is
+  /// what makes 10^5..10^6-host runs fit in memory.  Router count also
+  /// sets the mean attachment-domain size (hosts / stub routers), the
+  /// knob that keeps DSCT's per-domain clustering tractable at scale.
+  std::size_t routers = 0;
+  std::uint64_t topology_seed = 42;  ///< seed of the underlay build
   Time duration = 8.0;
   Time warmup = 2.0;
   std::uint64_t seed = 11;
@@ -106,6 +115,13 @@ struct MultiGroupSimConfig {
   std::size_t threads = 0;       ///< Sharded: workers; 0 = auto
   std::size_t mailbox_capacity = 4096;
   bool collect_trace = false;    ///< record every delivery (tests)
+  /// Bounded deterministic delivery sample (scale runs, where
+  /// collect_trace is infeasible): keep the k records whose hashed
+  /// (time_key, packet, group, host) key is smallest.  The winning set is
+  /// a pure function of the delivered multiset, so it is byte-identical
+  /// across shard counts, thread counts and merge orders — the canonical
+  /// trace's determinism contract, at O(k) memory.  0 disables.
+  std::size_t sample_deliveries = 0;
 };
 
 struct MultiGroupSimResult {
@@ -151,6 +167,18 @@ struct MultiGroupSimResult {
   std::size_t lookahead_epochs = 0;  ///< plan epochs (0 = uniform lookahead)
   /// Canonical delivery trace; empty unless collect_trace.
   DeliveryTrace trace;
+
+  // Scale telemetry (topology/host_table.hpp budget + streaming stats).
+  std::size_t host_state_bytes = 0;  ///< lanes + pipelines + loss models
+  double bytes_per_host = 0;         ///< host_state_bytes / hosts
+  std::size_t delay_provider_bytes = 0;  ///< DelayMatrix or oracle
+  /// End-to-end delay quantiles from the mergeable log-binned sketch
+  /// (identical across shard counts; ~2% relative resolution).
+  Time delay_p50 = 0;
+  Time delay_p99 = 0;
+  /// k-min delivery sample, ascending hash order; empty unless
+  /// sample_deliveries > 0.  Byte-identical across shard/thread counts.
+  DeliveryTrace sample;
 };
 
 MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config);
@@ -178,6 +206,14 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
 /// (thread-safe; keyed by host count and seed).
 const topology::AttachedNetwork& default_network(std::size_t hosts = 665,
                                                  std::uint64_t seed = 42);
+
+/// Scale analogue of default_network: hierarchical transit-stub underlay
+/// with `routers` routers (compact host delays; thread-safe cache keyed by
+/// (routers, hosts, seed)).  Remaining generator knobs stay at the
+/// HierarchicalConfig defaults, so the underlay is a pure function of the
+/// three cache keys.
+const topology::AttachedNetwork& default_hierarchical_network(
+    std::size_t routers, std::size_t hosts, std::uint64_t seed = 42);
 
 /// Sharded-engine setup shared by the multigroup experiments: derive the
 /// attachment-domain partition for a built overlay (weighted by

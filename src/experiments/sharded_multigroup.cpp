@@ -13,6 +13,8 @@
 #include "sim/context.hpp"
 #include "sim/pending_entry.hpp"
 #include "sim/tracer.hpp"
+#include "topology/host_table.hpp"
+#include "util/stats.hpp"
 
 namespace emcast::experiments {
 
@@ -25,15 +27,19 @@ namespace {
 const overlay::MultiGroupNetwork& cached_multigroup(
     const ShardedMultigroupConfig& config) {
   using Key = std::tuple<std::size_t, int, std::size_t, std::uint64_t,
-                         std::uint64_t>;
+                         std::uint64_t, std::size_t>;
   static std::mutex mutex;
   static std::map<Key, std::unique_ptr<overlay::MultiGroupNetwork>> cache;
   const Key key{config.hosts, config.groups, config.cluster_k, config.seed,
-                config.topology_seed};
+                config.topology_seed, config.routers};
   std::lock_guard lock(mutex);
   auto& slot = cache[key];
   if (!slot) {
-    const auto& net = default_network(config.hosts, config.topology_seed);
+    const auto& net =
+        config.routers > 0
+            ? default_hierarchical_network(config.routers, config.hosts,
+                                           config.topology_seed)
+            : default_network(config.hosts, config.topology_seed);
     overlay::MultiGroupConfig mc;
     mc.groups = config.groups;
     mc.scheme = overlay::TreeScheme::Dsct;
@@ -49,20 +55,22 @@ const overlay::MultiGroupNetwork& cached_multigroup(
 struct ShardCtx {
   sim::DelayTracer tracer;
   DeliveryTrace trace;
+  util::KMinSample<DeliveryRecord> sample{0};
   std::uint64_t delivered = 0;
 };
 
-/// Model state.  `busy` is written only by the shard owning the host
-/// (hosts never change shards), so there is no data race despite the
-/// single flat vector.
+/// Model state.  The hot per-host fields (uplink capacity, uplink-free
+/// time) live in a topology::HostTable — SoA lanes written only by the
+/// shard owning the host (hosts never change shards), so there is no
+/// data race despite the single flat table.
 struct Model {
   const overlay::MultiGroupNetwork* mg = nullptr;
   Time fwd_overhead = 0;
   Rate fwd_cpu_rate = 0;
   bool collect_trace = false;
+  std::size_t sample_deliveries = 0;
   bool batch_delivery = true;
-  std::vector<Rate> uplink;  ///< per-host uplink capacity
-  std::vector<Time> busy;    ///< per-host uplink-free time
+  topology::HostTable hosts;  ///< uplink + busy-until lanes
   std::vector<ShardCtx> ctx;
 };
 
@@ -78,8 +86,8 @@ void forward(Model& model, sim::SimContext ctx, std::size_t host,
   const auto& children = tree.children(host);
   if (children.empty()) return;
   const Time now = ctx.now();
-  Time& busy = model.busy[host];
-  const Rate uplink = model.uplink[host];
+  Time& busy = model.hosts.busy_until(host);
+  const Rate uplink = model.hosts.uplink(host);
   if (!model.batch_delivery) {
     // Per-copy baseline (the pre-batch path): identical float operands in
     // identical order, so the canonical trace matches the batched path to
@@ -148,13 +156,13 @@ ShardedMultigroupResult run_sharded_multigroup(
   model.fwd_overhead = config.fwd_overhead;
   model.fwd_cpu_rate = config.fwd_cpu_rate;
   model.collect_trace = config.collect_trace;
+  model.sample_deliveries = config.sample_deliveries;
   model.batch_delivery = config.batch_delivery;
-  model.busy.assign(n, 0.0);
+  model.hosts.resize(n);
   // Per-host uplink capacity: sized so the host's carried replication
   // load (one flow copy per child, priced at the child group's rate)
   // runs at the configured utilisation — heavy forwarders get fat
   // uplinks, exactly the premise degree-bounded overlay schemes make.
-  model.uplink.assign(n, 0.0);
   const Rate floor_capacity = scenario.capacity_for(config.utilization);
   for (std::size_t h = 0; h < n; ++h) {
     Rate carried = 0;
@@ -162,7 +170,7 @@ ShardedMultigroupResult run_sharded_multigroup(
       carried += static_cast<double>(mg.tree(g).children(h).size()) *
                  scenario.sources[static_cast<std::size_t>(g)]->mean_rate();
     }
-    model.uplink[h] =
+    model.hosts.uplink(h) =
         std::max(floor_capacity, carried / config.utilization);
   }
 
@@ -183,7 +191,14 @@ ShardedMultigroupResult run_sharded_multigroup(
   }
   sim::Engine engine(ec);
   model.ctx.resize(engine.shard_count());
-  for (auto& c : model.ctx) c.tracer.set_warmup(config.warmup);
+  for (auto& c : model.ctx) {
+    c.tracer.set_warmup(config.warmup);
+    // Per-shard streaming summaries: O(shards) memory, order-independent
+    // merge — identical results for every shard count (see
+    // util::LogHistogram / util::KMinSample).
+    c.tracer.enable_quantiles();
+    c.sample = util::KMinSample<DeliveryRecord>(config.sample_deliveries);
+  }
 
   engine.set_deliver([&model](sim::SimContext ctx, HostId host,
                               const sim::Packet& p) {
@@ -191,9 +206,12 @@ ShardedMultigroupResult run_sharded_multigroup(
     const Time now = ctx.now();
     ++c.delivered;
     c.tracer.record(p, now);
-    if (model.collect_trace) {
-      c.trace.push_back(DeliveryRecord{sim::time_key(now), p.id, p.group,
-                                       host});
+    if (model.collect_trace || model.sample_deliveries > 0) {
+      const DeliveryRecord rec{sim::time_key(now), p.id, p.group, host};
+      if (model.collect_trace) c.trace.push_back(rec);
+      if (model.sample_deliveries > 0) {
+        c.sample.offer(delivery_sample_key(rec), rec);
+      }
     }
     forward(model, ctx, static_cast<std::size_t>(host), p);
   });
@@ -224,8 +242,11 @@ ShardedMultigroupResult run_sharded_multigroup(
   result.messages_spilled = engine.messages_spilled();
 
   sim::DelayTracer merged(config.warmup);
+  merged.enable_quantiles();
+  util::KMinSample<DeliveryRecord> merged_sample(config.sample_deliveries);
   for (auto& c : model.ctx) {
     merged.merge(c.tracer);
+    merged_sample.merge(c.sample);
     result.deliveries += c.delivered;
     if (config.collect_trace) {
       result.trace.insert(result.trace.end(), c.trace.begin(),
@@ -234,7 +255,24 @@ ShardedMultigroupResult run_sharded_multigroup(
   }
   result.worst_case_delay = merged.worst_case();
   result.mean_delay = merged.all().mean();
+  result.delay_p50 = merged.quantile(0.5);
+  result.delay_p99 = merged.quantile(0.99);
+  if (config.sample_deliveries > 0) {
+    result.sample = merged_sample.records();
+  }
   if (config.collect_trace) canonicalize(result.trace);
+
+  // Memory budget: lanes plus the per-shard summary state (the only
+  // out-of-table host-adjacent blocks this unregulated model keeps).
+  std::size_t summary_bytes = 0;
+  for (const auto& c : model.ctx) {
+    summary_bytes += c.tracer.memory_bytes() + c.sample.memory_bytes();
+  }
+  model.hosts.register_side_table("shard_summaries", summary_bytes);
+  const topology::HostMemoryBudget budget = model.hosts.budget();
+  result.host_state_bytes = budget.total_bytes();
+  result.bytes_per_host = budget.bytes_per_host();
+  result.delay_provider_bytes = mg.delay_memory_bytes();
   return result;
 }
 

@@ -57,6 +57,14 @@ struct ShardedMultigroupConfig {
   bool collect_trace = false;  ///< record every delivery (tests)
   std::size_t mailbox_capacity = 4096;
   std::uint64_t topology_seed = 42;
+  /// Underlay: 0 = the fixed Fig. 5 backbone (legacy, bit-exact); > 0 =
+  /// hierarchical transit-stub underlay with that many routers and the
+  /// compact host-delay oracle (the only provider that fits at 10^6
+  /// hosts) — see experiments/multigroup_sim.hpp.
+  std::size_t routers = 0;
+  /// Bounded deterministic k-min delivery sample (scale stand-in for
+  /// collect_trace; byte-identical across shard/thread counts).  0 = off.
+  std::size_t sample_deliveries = 0;
   /// Fan-out through deliver_batch trains (the production path).  false
   /// issues one deliver() per child from the same float operands in the
   /// same order — byte-identical traces, one kernel/mailbox touch per
@@ -87,6 +95,15 @@ struct ShardedMultigroupResult {
   /// Canonical trace, sorted by (time_key, group, packet, host); empty
   /// unless collect_trace.
   DeliveryTrace trace;
+
+  // Scale telemetry (see topology/host_table.hpp).
+  std::size_t host_state_bytes = 0;  ///< lanes + side tables
+  double bytes_per_host = 0;         ///< host_state_bytes / hosts
+  std::size_t delay_provider_bytes = 0;  ///< DelayMatrix or compact oracle
+  Time delay_p50 = 0;  ///< mergeable-sketch quantiles (shard-count stable)
+  Time delay_p99 = 0;
+  /// k-min delivery sample; empty unless sample_deliveries > 0.
+  DeliveryTrace sample;
 };
 
 ShardedMultigroupResult run_sharded_multigroup(

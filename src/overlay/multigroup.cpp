@@ -19,9 +19,15 @@ const char* to_string(TreeScheme scheme) {
 
 MultiGroupNetwork::MultiGroupNetwork(const topology::AttachedNetwork& net,
                                      const MultiGroupConfig& config)
-    : net_(&net),
-      delays_(std::make_shared<topology::DelayMatrix>(net.graph)),
-      config_(config) {
+    : net_(&net), config_(config) {
+  // Delay provider: the full matrix is O((routers + hosts)^2) memory and
+  // build time, fine at 665 hosts and impossible at 10^6; networks that
+  // opt in to compact delays get the exact router-level oracle instead.
+  if (net.compact_host_delays) {
+    oracle_ = std::make_shared<topology::HostDelayOracle>(net);
+  } else {
+    delays_ = std::make_shared<topology::DelayMatrix>(net.graph);
+  }
   if (config.groups < 1) {
     throw std::invalid_argument("MultiGroupNetwork: groups < 1");
   }
@@ -92,8 +98,10 @@ MultiGroupNetwork::MultiGroupNetwork(const topology::AttachedNetwork& net,
   }
 }
 
-Time MultiGroupNetwork::member_delay(std::size_t a, std::size_t b) const {
-  return delays_->at(net_->hosts[a], net_->hosts[b]);
+std::size_t MultiGroupNetwork::delay_memory_bytes() const {
+  if (oracle_) return oracle_->memory_bytes();
+  const std::size_t n = delays_->size();
+  return sizeof(topology::DelayMatrix) + n * n * sizeof(Time);
 }
 
 PartitionStats evaluate_partition(const MultiGroupNetwork& mg,

@@ -12,6 +12,7 @@
 #include "overlay/dsct.hpp"
 #include "overlay/nice.hpp"
 #include "overlay/tree.hpp"
+#include "topology/hierarchical.hpp"
 #include "topology/host_attachment.hpp"
 #include "topology/partition.hpp"
 #include "topology/shortest_path.hpp"
@@ -49,17 +50,34 @@ class MultiGroupNetwork {
   const MulticastTree& tree(int group) const { return trees_[static_cast<std::size_t>(group)]; }
   std::size_t source(int group) const { return sources_[static_cast<std::size_t>(group)]; }
   const topology::AttachedNetwork& network() const { return *net_; }
-  const topology::DelayMatrix& delays() const { return *delays_; }
 
   /// One-way underlay propagation delay between two member indices (host
   /// indices; identical across groups since everyone joins everything).
-  Time member_delay(std::size_t a, std::size_t b) const;
+  /// Backed by one of two providers, chosen by the network's
+  /// compact_host_delays marker:
+  ///   - legacy: full all-pairs DelayMatrix over routers + hosts — keeps
+  ///     the bit-exact delay values every existing trace test pins;
+  ///   - compact: HostDelayOracle (access + RxR router matrix + access)
+  ///     — exact too, but a different float-addition order, and the only
+  ///     provider that fits in memory at 10^6 hosts.
+  Time member_delay(std::size_t a, std::size_t b) const {
+    return oracle_ ? oracle_->between_hosts(a, b)
+                   : delays_->at(net_->hosts[a], net_->hosts[b]);
+  }
+
+  /// True when the compact router-level oracle backs member_delay.
+  bool compact_delays() const { return oracle_ != nullptr; }
+
+  /// Bytes held by the delay provider (matrix or oracle) — the dominant
+  /// per-network memory term, reported into the scale memory budget.
+  std::size_t delay_memory_bytes() const;
 
   const MultiGroupConfig& config() const { return config_; }
 
  private:
   const topology::AttachedNetwork* net_;
-  std::shared_ptr<topology::DelayMatrix> delays_;
+  std::shared_ptr<topology::DelayMatrix> delays_;        ///< legacy provider
+  std::shared_ptr<topology::HostDelayOracle> oracle_;    ///< compact provider
   MultiGroupConfig config_;
   std::vector<MulticastTree> trees_;
   std::vector<std::size_t> sources_;

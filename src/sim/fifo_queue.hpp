@@ -66,6 +66,10 @@ class FifoQueue {
   Bits peak_backlog_bits() const { return peak_backlog_bits_; }
   std::uint64_t total_enqueued() const { return total_enqueued_; }
 
+  /// Heap bytes behind this queue (entry payload only; the deque's block
+  /// directory is ignored).  Feeds the per-host memory budget report.
+  std::size_t heap_bytes() const { return entries_.size() * sizeof(Entry); }
+
   void clear();
 
  private:

@@ -2,6 +2,18 @@
 
 namespace emcast::sim {
 
+DelayTracer& DelayTracer::operator=(const DelayTracer& other) {
+  if (this == &other) return *this;
+  warmup_ = other.warmup_;
+  all_ = other.all_;
+  per_flow_ = other.per_flow_;
+  dropped_warmup_ = other.dropped_warmup_;
+  quantiles_ = other.quantiles_
+                   ? std::make_unique<util::LogHistogram>(*other.quantiles_)
+                   : nullptr;
+  return *this;
+}
+
 void DelayTracer::record(const Packet& p, Time now) {
   record_delay(p.flow, p.age(now), now);
 }
@@ -13,6 +25,7 @@ void DelayTracer::record_delay(FlowId flow, Time delay, Time now) {
   }
   all_.add(delay);
   per_flow_[flow].add(delay);
+  if (quantiles_) quantiles_->add(delay);
 }
 
 void DelayTracer::merge(const DelayTracer& other) {
@@ -21,6 +34,24 @@ void DelayTracer::merge(const DelayTracer& other) {
     per_flow_[flow].merge(stats);
   }
   dropped_warmup_ += other.dropped_warmup_;
+  if (quantiles_ && other.quantiles_) quantiles_->merge(*other.quantiles_);
+}
+
+void DelayTracer::enable_quantiles(double lo, double hi,
+                                   double relative_error) {
+  quantiles_ = std::make_unique<util::LogHistogram>(lo, hi, relative_error);
+}
+
+double DelayTracer::quantile(double q) const {
+  return quantiles_ ? quantiles_->quantile(q) : 0.0;
+}
+
+std::size_t DelayTracer::memory_bytes() const {
+  // Rough rb-tree node cost: payload + colour/parent/children pointers.
+  const std::size_t node =
+      sizeof(std::pair<FlowId, util::OnlineStats>) + 4 * sizeof(void*);
+  return sizeof(*this) + per_flow_.size() * node +
+         (quantiles_ ? quantiles_->memory_bytes() : 0);
 }
 
 const util::OnlineStats& DelayTracer::flow(FlowId f) const {

@@ -5,6 +5,7 @@
 // pollute the worst-case statistic, mirroring standard ns-2 methodology.
 
 #include <map>
+#include <memory>
 
 #include "sim/packet.hpp"
 #include "util/stats.hpp"
@@ -15,6 +16,11 @@ namespace emcast::sim {
 class DelayTracer {
  public:
   explicit DelayTracer(Time warmup = 0.0) : warmup_(warmup) {}
+
+  DelayTracer(const DelayTracer& other) { *this = other; }
+  DelayTracer& operator=(const DelayTracer& other);
+  DelayTracer(DelayTracer&&) = default;
+  DelayTracer& operator=(DelayTracer&&) = default;
 
   /// Adjust the warm-up horizon (samples before it are discarded).
   void set_warmup(Time t) { warmup_ = t; }
@@ -42,11 +48,32 @@ class DelayTracer {
 
   std::uint64_t dropped_warmup() const { return dropped_warmup_; }
 
+  /// Opt-in quantile sketch (off by default: a tracer is embedded per
+  /// regulated host, and those must stay a few dozen bytes).  Enabled on
+  /// the per-shard measurement tracers at scale, where the full delivery
+  /// trace is infeasible: the log-binned sketch merges exactly (bin
+  /// counts add), so quantiles are identical across shard counts and
+  /// merge orders.  merge() folds a quantile-enabled source into a
+  /// quantile-enabled target; sketchless sources contribute nothing to
+  /// the sketch (their samples were never binned).
+  void enable_quantiles(double lo = 1e-6, double hi = 100.0,
+                        double relative_error = 0.02);
+  bool quantiles_enabled() const { return quantiles_ != nullptr; }
+  /// Inverse-CDF estimate from the sketch; 0 when quantiles are off or
+  /// no samples survived warm-up.  q=1 is the exact maximum.
+  double quantile(double q) const;
+
+  /// Bytes held by this tracer (self + per-flow map nodes + sketch).
+  /// Map nodes are priced at sizeof(node payload) + 4 pointers — close
+  /// enough for the budget report, which only needs the right order.
+  std::size_t memory_bytes() const;
+
  private:
   Time warmup_;
   util::OnlineStats all_;
   std::map<FlowId, util::OnlineStats> per_flow_;
   std::uint64_t dropped_warmup_ = 0;
+  std::unique_ptr<util::LogHistogram> quantiles_;
 };
 
 }  // namespace emcast::sim

@@ -1,13 +1,26 @@
 #include "topology/generators.hpp"
 
 #include <cmath>
+#include <numbers>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
 
 namespace emcast::topology {
+
+namespace {
+
+/// Hard ceiling on the expected number of candidate pairs the pruned path
+/// will examine.  Crossing it means the requested (nodes, plane, alpha,
+/// beta) combination is effectively dense — the caller is asking for a
+/// graph with ~N² edges, which is an input error at scale, not something
+/// to silently grind through.
+constexpr double kWaxmanCandidateCap = 50e6;
+
+}  // namespace
 
 Graph make_waxman(const WaxmanConfig& config) {
   if (config.nodes < 2) throw std::invalid_argument("make_waxman: nodes < 2");
@@ -35,15 +48,92 @@ Graph make_waxman(const WaxmanConfig& config) {
     g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
                std::max(dist_ms(i, j), 1.0) * 1e-3, config.link_capacity);
   }
-  // Waxman probability edges on the remaining pairs.
-  for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = a + 1; b < n; ++b) {
-      if (g.has_edge(static_cast<NodeId>(a), static_cast<NodeId>(b))) continue;
-      const double d = dist_ms(a, b);
-      const double p = config.beta * std::exp(-d / (config.alpha * l_max));
-      if (rng.uniform() < p) {
-        g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b),
-                   std::max(d, 1.0) * 1e-3, config.link_capacity);
+
+  auto try_edge = [&](std::size_t a, std::size_t b) {
+    if (g.has_edge(static_cast<NodeId>(a), static_cast<NodeId>(b))) return;
+    const double d = dist_ms(a, b);
+    const double p = config.beta * std::exp(-d / (config.alpha * l_max));
+    if (rng.uniform() < p) {
+      g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                 std::max(d, 1.0) * 1e-3, config.link_capacity);
+    }
+  };
+
+  if (n <= kWaxmanExactNodes) {
+    // Exact historical path: Waxman probability edges on every remaining
+    // pair, in the same order with the same RNG stream as the original
+    // generator — graphs for small seeds/sizes stay byte-identical.
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) try_edge(a, b);
+    }
+    return g;
+  }
+
+  // ---- spatial-grid candidate pruning (nodes > kWaxmanExactNodes) ------
+  // Any pair farther apart than d_cut has edge probability below
+  // p_cut = 0.2 / n²; across < n²/2 such pairs the expected number of
+  // pruned-away edges is < 0.1.  Only pairs within d_cut are offered an
+  // edge, found via a uniform grid whose cell width is >= d_cut (so all
+  // candidates of a node live in its 3x3 cell neighbourhood).
+  const double p_cut =
+      0.2 / (static_cast<double>(n) * static_cast<double>(n));
+  double d_cut = 0.0;
+  if (config.beta > p_cut) {
+    d_cut = std::min(-config.alpha * l_max * std::log(p_cut / config.beta),
+                     l_max);
+  }
+  // else: every pair is below p_cut — expected extra edges < 0.1 total,
+  // the spanning tree alone is the faithful answer.
+
+  const double plane = config.plane_size_ms;
+  const double area_fraction =
+      plane > 0.0
+          ? std::min(1.0, std::numbers::pi * d_cut * d_cut / (plane * plane))
+          : 1.0;
+  const double expected_candidates =
+      0.5 * static_cast<double>(n) * static_cast<double>(n) * area_fraction;
+  if (expected_candidates > kWaxmanCandidateCap) {
+    throw std::invalid_argument(
+        "make_waxman: expected candidate pairs ~" +
+        std::to_string(static_cast<long long>(expected_candidates)) +
+        " exceed the tractable cap at nodes=" + std::to_string(n) +
+        "; the graph would be near-dense.  Grow plane_size_ms with "
+        "~sqrt(nodes) to hold mean degree constant (e.g. plane_size_ms = "
+        "30 * sqrt(nodes / 20)).");
+  }
+
+  if (d_cut > 0.0) {
+    // Cell width = plane / floor(plane / d_cut) >= d_cut, so candidates
+    // never span more than one cell boundary.
+    const auto cells = static_cast<std::size_t>(
+        std::max(1.0, std::floor(plane / d_cut)));
+    const double inv_w = static_cast<double>(cells) / plane;
+    auto cell_of = [&](double v) {
+      const auto c = static_cast<std::size_t>(v * inv_w);
+      return std::min(c, cells - 1);
+    };
+    std::vector<std::vector<std::uint32_t>> grid(cells * cells);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Ascending insertion order keeps every cell list sorted, which —
+      // with the fixed node/cell iteration below — makes the candidate
+      // order (and hence the RNG pairing and the edge list) a pure
+      // function of the seed.
+      grid[cell_of(y[i]) * cells + cell_of(x[i])].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t a = 0; a < n; ++a) {
+      const std::size_t cx = cell_of(x[a]);
+      const std::size_t cy = cell_of(y[a]);
+      for (std::size_t gy = cy > 0 ? cy - 1 : 0;
+           gy <= std::min(cy + 1, cells - 1); ++gy) {
+        for (std::size_t gx = cx > 0 ? cx - 1 : 0;
+             gx <= std::min(cx + 1, cells - 1); ++gx) {
+          for (const std::uint32_t b : grid[gy * cells + gx]) {
+            if (b <= a) continue;
+            if (dist_ms(a, b) > d_cut) continue;
+            try_edge(a, b);
+          }
+        }
       }
     }
   }

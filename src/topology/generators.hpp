@@ -18,8 +18,28 @@ struct WaxmanConfig {
   std::uint64_t seed = 1;
 };
 
+/// Node count at and below which make_waxman keeps the exact historical
+/// O(N²) pair scan (byte-identical RNG stream, pinned by existing tests);
+/// above it the generator switches to spatial-grid candidate pruning.
+inline constexpr std::size_t kWaxmanExactNodes = 2048;
+
 /// Classic Waxman random graph on a delay plane; extra edges are added from
 /// a random spanning tree so the result is always connected.
+///
+/// Scale path (nodes > kWaxmanExactNodes): instead of testing all N²/2
+/// pairs, only pairs within the cutoff radius d_cut are offered an edge,
+/// where d_cut is chosen so the Waxman probability of any pruned pair is
+/// below 0.2/N² — the expected number of missed edges over the whole
+/// graph is then under 0.1, i.e. statistically indistinguishable.  A
+/// uniform grid of d_cut-sized cells makes that O(N · candidates).
+/// Because the classic parameterisation keeps edge probability roughly
+/// distance-free in plane units (p only decays with d / plane diagonal),
+/// a FIXED plane with growing N degenerates to a dense ~N² -edge graph no
+/// algorithm can materialise; the generator therefore throws
+/// std::invalid_argument when the expected candidate count exceeds an
+/// internal cap, with the standard remedy in the message: grow
+/// plane_size_ms ~ sqrt(nodes) to hold mean degree constant (the scaling
+/// used by the transit-stub literature).
 Graph make_waxman(const WaxmanConfig& config);
 
 struct RingLatticeConfig {

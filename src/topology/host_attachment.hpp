@@ -25,6 +25,13 @@ struct AttachedNetwork {
   std::size_t router_count = 0;     ///< nodes [0, router_count) are routers
   std::vector<NodeId> hosts;        ///< node ids of the end hosts
   std::vector<NodeId> attachment;   ///< hosts[i] attaches to attachment[i]
+  /// Scale marker: when set, consumers should derive host-to-host delays
+  /// from a router-level oracle (access + router matrix + access, exact
+  /// because hosts are degree-1 leaves — see topology/hierarchical.hpp)
+  /// instead of an O(V^2) all-pairs matrix over routers *and* hosts.
+  /// Off for the legacy Fig. 5 path so existing runs keep their
+  /// bit-exact delay values (same sums, different addition order).
+  bool compact_host_delays = false;
 
   bool is_router(NodeId n) const {
     return static_cast<std::size_t>(n) < router_count;

@@ -1,0 +1,47 @@
+#include "topology/host_table.hpp"
+
+#include <algorithm>
+
+namespace emcast::topology {
+
+void HostTable::resize(std::size_t hosts) {
+  uplink_.assign(hosts, 0.0);
+  busy_.assign(hosts, 0.0);
+  pipeline_.assign(hosts, kNoPipeline);
+  flags_.assign(hosts, 0);
+  uplink_.shrink_to_fit();
+  busy_.shrink_to_fit();
+  pipeline_.shrink_to_fit();
+  flags_.shrink_to_fit();
+}
+
+void HostTable::register_side_table(const std::string& name,
+                                    std::size_t bytes) {
+  auto it = std::find_if(side_tables_.begin(), side_tables_.end(),
+                         [&](const auto& e) { return e.first == name; });
+  if (it != side_tables_.end()) {
+    it->second = bytes;
+  } else {
+    side_tables_.emplace_back(name, bytes);
+  }
+}
+
+std::size_t HostTable::lane_bytes() const {
+  return uplink_.capacity() * sizeof(Rate) + busy_.capacity() * sizeof(Time) +
+         pipeline_.capacity() * sizeof(std::uint32_t) +
+         flags_.capacity() * sizeof(std::uint8_t);
+}
+
+HostMemoryBudget HostTable::budget() const {
+  HostMemoryBudget b;
+  b.hosts = size();
+  b.lane_bytes = lane_bytes();
+  b.breakdown.emplace_back("lanes", b.lane_bytes);
+  for (const auto& [name, bytes] : side_tables_) {
+    b.side_bytes += bytes;
+    b.breakdown.emplace_back(name, bytes);
+  }
+  return b;
+}
+
+}  // namespace emcast::topology

@@ -1,0 +1,96 @@
+#pragma once
+// Compact per-host state for million-host runs.  The experiment drivers
+// used to hang a small heap object graph off every host (unique_ptrs,
+// std::function closures, map nodes), which costs both memory (dozens of
+// pointer-sized fields per host) and locality (every hot-path touch is a
+// pointer chase).  HostTable replaces that with a struct-of-arrays
+// layout: each *lane* is one flat vector indexed by host, so the
+// dissemination hot path (uplink capacity, uplink-free time, pipeline
+// index, flags) walks contiguous memory, and the cost per host is the
+// sum of the lane strides — a number the table can report exactly.
+//
+// Side tables: state that genuinely cannot be a fixed-width lane (the
+// dense array of forwarder pipelines, regulator banks, loss models)
+// registers its measured footprint with register_side_table(), so
+// budget() reports honest bytes-per-host for the WHOLE host state, not
+// just the lanes.  That report feeds the bench counters and the
+// BENCH_pr9 memory gate.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace emcast::topology {
+
+/// Sentinel for the pipeline lane: host has no regulated pipeline (pure
+/// receivers at scale — the common case, since forwarders are a minority
+/// of hosts in any bounded-degree tree).
+inline constexpr std::uint32_t kNoPipeline = 0xffffffffu;
+
+/// Itemised memory report; all byte figures are capacity-based (what the
+/// process actually holds), not size-based.
+struct HostMemoryBudget {
+  std::size_t hosts = 0;
+  std::size_t lane_bytes = 0;  ///< sum over SoA lanes
+  std::size_t side_bytes = 0;  ///< sum over registered side tables
+  std::vector<std::pair<std::string, std::size_t>> breakdown;
+
+  std::size_t total_bytes() const { return lane_bytes + side_bytes; }
+  double bytes_per_host() const {
+    return hosts ? static_cast<double>(total_bytes()) /
+                       static_cast<double>(hosts)
+                 : 0.0;
+  }
+};
+
+class HostTable {
+ public:
+  HostTable() = default;
+  explicit HostTable(std::size_t hosts) { resize(hosts); }
+
+  /// (Re)size every lane; uplink/busy zeroed, pipeline set to
+  /// kNoPipeline, flags cleared.
+  void resize(std::size_t hosts);
+
+  std::size_t size() const { return busy_.size(); }
+
+  // --- hot dissemination lanes (SoA) ----------------------------------
+  /// Uplink capacity [bit/s] of host h.
+  Rate& uplink(std::size_t h) { return uplink_[h]; }
+  Rate uplink(std::size_t h) const { return uplink_[h]; }
+
+  /// Time the host's serialised uplink becomes free again.
+  Time& busy_until(std::size_t h) { return busy_[h]; }
+  Time busy_until(std::size_t h) const { return busy_[h]; }
+
+  /// Index into the driver's dense pipeline array, or kNoPipeline.
+  std::uint32_t& pipeline(std::size_t h) { return pipeline_[h]; }
+  std::uint32_t pipeline(std::size_t h) const { return pipeline_[h]; }
+
+  /// Per-host flag byte (driver-defined bits: forwarder, lossy, ...).
+  std::uint8_t& flags(std::size_t h) { return flags_[h]; }
+  std::uint8_t flags(std::size_t h) const { return flags_[h]; }
+
+  // --- accounting ------------------------------------------------------
+  /// Record (or update, by name) the footprint of an out-of-table block
+  /// of host state, e.g. "pipelines" or "loss_models".
+  void register_side_table(const std::string& name, std::size_t bytes);
+
+  /// Bytes of the SoA lanes alone: one Rate + Time + uint32 + uint8 per
+  /// host (plus vector capacity slack, which resize() keeps at zero).
+  std::size_t lane_bytes() const;
+
+  HostMemoryBudget budget() const;
+
+ private:
+  std::vector<Rate> uplink_;
+  std::vector<Time> busy_;
+  std::vector<std::uint32_t> pipeline_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::pair<std::string, std::size_t>> side_tables_;
+};
+
+}  // namespace emcast::topology

@@ -1,6 +1,8 @@
 #include "traffic/trace_recorder.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -9,8 +11,58 @@ namespace emcast::traffic {
 TraceRecorder::TraceRecorder(std::size_t lanes)
     : lanes_(std::max<std::size_t>(1, lanes)) {}
 
+TraceRecorder::~TraceRecorder() {
+  for (Spill& s : spills_) {
+    if (s.path.empty()) continue;
+    s.out.close();
+    std::remove(s.path.c_str());  // best effort; litter is the only failure
+  }
+}
+
 void TraceRecorder::reserve(std::size_t records_per_lane) {
   for (auto& lane : lanes_) lane.reserve(records_per_lane);
+}
+
+void TraceRecorder::enable_spill(const std::string& dir,
+                                 std::size_t threshold_records) {
+  if (records() > 0) {
+    throw std::logic_error(
+        "TraceRecorder::enable_spill: must be called before recording");
+  }
+  if (threshold_records == 0) {
+    throw std::invalid_argument(
+        "TraceRecorder::enable_spill: threshold must be positive");
+  }
+  spill_dir_ = dir;
+  spill_threshold_ = threshold_records;
+  spills_ = std::vector<Spill>(lanes_.size());
+}
+
+void TraceRecorder::flush_lane(std::size_t lane) {
+  Spill& s = spills_[lane];
+  if (s.path.empty()) {
+    // Globally unique file names: recorders may share a spill directory.
+    static std::atomic<std::uint64_t> file_counter{0};
+    s.path = spill_dir_ + "/emcast_spill_" +
+             std::to_string(file_counter.fetch_add(1)) + "_lane" +
+             std::to_string(lane) + ".bin";
+    s.out.open(s.path, std::ios::binary | std::ios::trunc);
+    if (!s.out) {
+      throw std::invalid_argument("TraceRecorder: cannot open spill file " +
+                                  s.path);
+    }
+  }
+  std::vector<Raw>& v = lanes_[lane];
+  s.out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(Raw)));
+  // Push through to the OS now so bytes() can read the file back through
+  // an independent ifstream while this handle stays open for appends.
+  s.out.flush();
+  if (!s.out) {
+    throw std::runtime_error("TraceRecorder: spill write failed: " + s.path);
+  }
+  s.spilled += v.size();
+  v.clear();  // capacity kept — the lane arena is recycled, not freed
 }
 
 void TraceRecorder::record(std::size_t lane, Time t, const sim::Packet& p) {
@@ -18,11 +70,21 @@ void TraceRecorder::record(std::size_t lane, Time t, const sim::Packet& p) {
     throw std::invalid_argument("TraceRecorder::record: lane out of range");
   }
   lanes_[lane].push_back(Raw{sim::time_key(t), p.size, p.flow, p.group});
+  if (spill_threshold_ != 0 && lanes_[lane].size() >= spill_threshold_) {
+    flush_lane(lane);
+  }
 }
 
 std::uint64_t TraceRecorder::records() const {
   std::uint64_t n = 0;
   for (const auto& lane : lanes_) n += lane.size();
+  for (const auto& s : spills_) n += s.spilled;
+  return n;
+}
+
+std::uint64_t TraceRecorder::records_spilled() const {
+  std::uint64_t n = 0;
+  for (const auto& s : spills_) n += s.spilled;
   return n;
 }
 
@@ -30,21 +92,72 @@ std::vector<std::uint8_t> TraceRecorder::bytes() const {
   // K-way merge by (time_key, lane): each lane is already time-sorted
   // (per-lane capture follows that lane's event order), so one cursor per
   // lane suffices and the result is deterministic for any thread
-  // interleaving of the recording run.
-  std::vector<std::size_t> cursor(lanes_.size(), 0);
+  // interleaving of the recording run.  A lane's logical stream is its
+  // spilled prefix (read back through a bounded buffer) followed by the
+  // in-memory tail, so spilled and unspilled recorders serialise the same
+  // captures to the same bytes.
+  constexpr std::size_t kReadChunk = 4096;
+  struct Cursor {
+    std::ifstream in;
+    std::uint64_t remaining = 0;  ///< spilled records not yet read back
+    std::vector<Raw> buf;
+    std::size_t pos = 0;
+    const std::vector<Raw>* tail = nullptr;
+    std::size_t tail_pos = 0;
+  };
+  std::vector<Cursor> cur(lanes_.size());
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    cur[l].tail = &lanes_[l];
+    if (l < spills_.size() && spills_[l].spilled > 0) {
+      cur[l].in.open(spills_[l].path, std::ios::binary);
+      if (!cur[l].in) {
+        throw std::runtime_error("TraceRecorder: cannot reopen spill file " +
+                                 spills_[l].path);
+      }
+      cur[l].remaining = spills_[l].spilled;
+    }
+  }
+  auto head = [&](Cursor& c) -> const Raw* {
+    if (c.pos == c.buf.size() && c.remaining > 0) {
+      const auto m = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kReadChunk, c.remaining));
+      c.buf.resize(m);
+      c.in.read(reinterpret_cast<char*>(c.buf.data()),
+                static_cast<std::streamsize>(m * sizeof(Raw)));
+      if (!c.in) {
+        throw std::runtime_error("TraceRecorder: spill read failed");
+      }
+      c.remaining -= m;
+      c.pos = 0;
+    }
+    if (c.pos < c.buf.size()) return &c.buf[c.pos];
+    if (c.tail_pos < c.tail->size()) return &(*c.tail)[c.tail_pos];
+    return nullptr;
+  };
+  auto advance = [&](Cursor& c) {
+    if (c.pos < c.buf.size()) {
+      ++c.pos;
+    } else {
+      ++c.tail_pos;
+    }
+  };
+
   TraceWriter writer(seed_, fingerprint_);
   const std::uint64_t total = records();
   for (std::uint64_t n = 0; n < total; ++n) {
     std::size_t best = lanes_.size();
+    const Raw* best_raw = nullptr;
     for (std::size_t l = 0; l < lanes_.size(); ++l) {
-      if (cursor[l] >= lanes_[l].size()) continue;
-      if (best == lanes_.size() ||
-          lanes_[l][cursor[l]].time_key < lanes_[best][cursor[best]].time_key) {
+      const Raw* r = head(cur[l]);
+      if (r == nullptr) continue;
+      if (best_raw == nullptr || r->time_key < best_raw->time_key) {
         best = l;
+        best_raw = r;
       }
     }
-    const Raw& r = lanes_[best][cursor[best]++];
-    writer.append(sim::key_time(r.time_key), r.size, r.flow, r.group);
+    writer.append(sim::key_time(best_raw->time_key), best_raw->size,
+                  best_raw->flow, best_raw->group);
+    advance(cur[best]);
   }
   return writer.finish();
 }

@@ -17,8 +17,19 @@
 // Recording is off the zero-alloc contract: lanes grow amortised like any
 // measurement vector (reserve() if it matters).  *Replay* is the hot path;
 // see trace_source.hpp.
+//
+// Spilling.  At 10^5+ hosts a run emits far more records than RAM should
+// hold, so a recorder can be given a spill directory: once a lane's
+// resident vector reaches the threshold it is appended (raw 24-byte
+// records, already time-sorted) to that lane's spill file and the vector
+// is recycled.  bytes() then k-way merges per-lane streams that read the
+// spilled chunks back through a small bounded buffer before draining the
+// in-memory tail — peak memory is O(lanes * threshold), independent of
+// the total record count, and the output is byte-identical to the
+// unspilled recorder over the same captures.
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +42,11 @@ namespace emcast::traffic {
 class TraceRecorder {
  public:
   explicit TraceRecorder(std::size_t lanes = 1);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  TraceRecorder(TraceRecorder&&) = default;
+  TraceRecorder& operator=(TraceRecorder&&) = default;
 
   /// Provenance stamped into the header at finish().
   void set_identity(std::uint64_t seed, std::uint64_t fingerprint) {
@@ -42,6 +58,18 @@ class TraceRecorder {
 
   /// Pre-size every lane (optional; recording stays correct without).
   void reserve(std::size_t records_per_lane);
+
+  /// Bound resident memory: once a lane holds `threshold_records` it is
+  /// appended to its spill file under `dir` (created per lane, removed in
+  /// the destructor) and recycled.  Must be called before the first
+  /// record(); lanes spill independently, so the per-lane thread contract
+  /// is unchanged.  bytes()/finish() transparently merge spilled chunks
+  /// with the in-memory tails — same output as an unspilled recorder.
+  void enable_spill(const std::string& dir,
+                    std::size_t threshold_records = 1u << 20);
+
+  bool spill_enabled() const { return spill_threshold_ > 0; }
+  std::uint64_t records_spilled() const;
 
   /// Capture one emission on `lane` at simulated time `t`.  Lanes must
   /// only ever be fed from one thread each; distinct lanes are safe
@@ -66,7 +94,20 @@ class TraceRecorder {
     FlowId flow;
     GroupId group;
   };
+  /// Per-lane spill bookkeeping.  `path` is empty until the lane's first
+  /// flush; `spilled` counts records already on disk (time-sorted, since
+  /// flushes preserve capture order).
+  struct Spill {
+    std::string path;
+    std::ofstream out;
+    std::uint64_t spilled = 0;
+  };
+  void flush_lane(std::size_t lane);
+
   std::vector<std::vector<Raw>> lanes_;
+  std::vector<Spill> spills_;   ///< empty unless enable_spill() was called
+  std::string spill_dir_;
+  std::size_t spill_threshold_ = 0;  ///< 0 = spilling disabled
   std::uint64_t seed_ = 0;
   std::uint64_t fingerprint_ = 0;
 };

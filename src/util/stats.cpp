@@ -82,4 +82,62 @@ double Histogram::bin_lo(std::size_t i) const {
 
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
 
+LogHistogram::LogHistogram(double lo, double hi, double relative_error) {
+  assert(lo > 0 && hi > lo && relative_error > 0);
+  lo_ = lo;
+  log_lo_ = std::log(lo);
+  // Bin ratio (1 + 2e) keeps the geometric-midpoint estimate within
+  // ~relative_error of any sample in the bin.
+  log_ratio_ = std::log1p(2.0 * relative_error);
+  inv_log_ratio_ = 1.0 / log_ratio_;
+  const auto bins = static_cast<std::size_t>(
+      std::ceil((std::log(hi) - log_lo_) * inv_log_ratio_));
+  counts_.assign(std::max<std::size_t>(bins, 1), 0);
+}
+
+std::size_t LogHistogram::bin_of(double x) const {
+  if (!(x > lo_)) return 0;
+  const auto idx =
+      static_cast<long long>((std::log(x) - log_lo_) * inv_log_ratio_);
+  return static_cast<std::size_t>(std::clamp<long long>(
+      idx, 0, static_cast<long long>(counts_.size()) - 1));
+}
+
+void LogHistogram::add(double x) {
+  stats_.add(x);
+  ++counts_[bin_of(x)];
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  stats_.merge(other.stats_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+void LogHistogram::reset() {
+  stats_.reset();
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (stats_.count() == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return stats_.max();
+  const auto target = static_cast<double>(stats_.count()) * q;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) {
+      // Geometric midpoint of the covering bin, clamped to the exact
+      // extrema so clamped-mass bins cannot report impossible values.
+      const double mid = std::exp(
+          log_lo_ + (static_cast<double>(i) + 0.5) * log_ratio_);
+      return std::clamp(mid, stats_.min(), stats_.max());
+    }
+  }
+  return stats_.max();
+}
+
 }  // namespace emcast::util

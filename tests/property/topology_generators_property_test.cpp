@@ -1,0 +1,204 @@
+// Property tests for ALL topology generators: every generator must give a
+// connected graph, respect its configured degree/delay bounds, be a pure
+// function of its seed (two builds compare byte-identical, edge list
+// included, float bits included), and differ across seeds.  The Waxman
+// generator is additionally pinned on both of its paths — the exact
+// historical O(N²) scan below kWaxmanExactNodes and the spatial-grid
+// pruned scan above it — plus its documented dense-graph size guard.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "topology/generators.hpp"
+#include "topology/hierarchical.hpp"
+#include "topology/host_attachment.hpp"
+
+namespace emcast::topology {
+namespace {
+
+using EdgeTuple = std::tuple<NodeId, NodeId, Time, Rate>;
+
+/// Canonical edge list: (a, b, delay, capacity) with a < b, in adjacency
+/// order.  Exact equality (floats compared bit-for-bit via ==) is the
+/// cross-run byte-identity the scale runs depend on.
+std::vector<EdgeTuple> edge_list(const Graph& g) {
+  std::vector<EdgeTuple> out;
+  for (std::size_t a = 0; a < g.node_count(); ++a) {
+    for (const Edge& e : g.neighbors(static_cast<NodeId>(a))) {
+      if (e.to > static_cast<NodeId>(a)) {
+        out.emplace_back(static_cast<NodeId>(a), e.to, e.delay, e.capacity);
+      }
+    }
+  }
+  return out;
+}
+
+void expect_delay_bounds(const Graph& g, Time lo, Time hi) {
+  for (std::size_t a = 0; a < g.node_count(); ++a) {
+    for (const Edge& e : g.neighbors(static_cast<NodeId>(a))) {
+      EXPECT_GE(e.delay, lo);
+      EXPECT_LE(e.delay, hi);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Waxman
+
+TEST(TopologyProperty, WaxmanExactPathInvariants) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WaxmanConfig c;
+    c.nodes = 60;
+    c.seed = seed;
+    const Graph g = make_waxman(c);
+    EXPECT_TRUE(g.connected()) << "seed " << seed;
+    EXPECT_EQ(g.node_count(), 60u);
+    EXPECT_GE(g.edge_count(), 59u);
+    // Delays: clamped to >= 1 ms, bounded by the plane diagonal.
+    expect_delay_bounds(g, 1e-3,
+                        c.plane_size_ms * std::numbers::sqrt2 * 1e-3);
+    EXPECT_EQ(edge_list(g), edge_list(make_waxman(c))) << "seed " << seed;
+  }
+  WaxmanConfig a, b;
+  a.nodes = b.nodes = 60;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(edge_list(make_waxman(a)), edge_list(make_waxman(b)));
+}
+
+TEST(TopologyProperty, WaxmanPrunedPathInvariants) {
+  // nodes > kWaxmanExactNodes with a locality-dominated alpha: the grid
+  // path actually prunes (d_cut < plane) and must still give a connected,
+  // seed-deterministic graph inside the delay envelope.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    WaxmanConfig c;
+    c.nodes = kWaxmanExactNodes + 52;
+    c.alpha = 0.02;
+    c.plane_size_ms = 300.0;
+    c.seed = seed;
+    const Graph g = make_waxman(c);
+    EXPECT_TRUE(g.connected()) << "seed " << seed;
+    EXPECT_EQ(g.node_count(), c.nodes);
+    EXPECT_GE(g.edge_count(), c.nodes - 1);
+    EXPECT_GT(g.edge_count(), c.nodes + 100);  // extra Waxman edges exist
+    expect_delay_bounds(g, 1e-3,
+                        c.plane_size_ms * std::numbers::sqrt2 * 1e-3);
+    EXPECT_EQ(edge_list(g), edge_list(make_waxman(c))) << "seed " << seed;
+  }
+}
+
+TEST(TopologyProperty, WaxmanPrunedPathKeepsWaxmanLocality) {
+  // With a short-range alpha most probability mass sits below d_cut, so
+  // the pruned graph's edges should be overwhelmingly short: a basic
+  // check that pruning selected the right candidates rather than a
+  // uniform subsample.
+  WaxmanConfig c;
+  c.nodes = kWaxmanExactNodes + 52;
+  c.alpha = 0.02;
+  c.plane_size_ms = 300.0;
+  const Graph g = make_waxman(c);
+  const double l_max = c.plane_size_ms * std::numbers::sqrt2;
+  std::size_t short_edges = 0;
+  for (const EdgeTuple& e : edge_list(g)) {
+    // The Waxman-sampled bulk decays on the alpha*l_max scale; only the
+    // n-1 spanning-tree edges (uniform random pairs) are routinely long.
+    if (std::get<2>(e) < 5.0 * c.alpha * l_max * 1e-3) ++short_edges;
+  }
+  EXPECT_GT(g.edge_count(), c.nodes + 100);  // the sampled bulk exists
+  EXPECT_GT(short_edges, g.edge_count() / 2);
+}
+
+TEST(TopologyProperty, WaxmanDenseConfigurationThrowsSizeGuard) {
+  // A fixed default-size plane with ten thousand nodes is effectively a
+  // dense graph: the generator must refuse with the documented guard
+  // rather than grind through ~N² candidates.
+  WaxmanConfig c;
+  c.nodes = 12000;
+  EXPECT_THROW(make_waxman(c), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- ring lattice
+
+TEST(TopologyProperty, RingLatticeInvariants) {
+  RingLatticeConfig c;
+  c.nodes = 31;
+  c.neighbors = 3;
+  const Graph g = make_ring_lattice(c);
+  EXPECT_TRUE(g.connected());
+  for (NodeId n = 0; n < 31; ++n) EXPECT_EQ(g.degree(n), 6u);
+  expect_delay_bounds(g, c.hop_delay_ms * 1e-3, 3 * c.hop_delay_ms * 1e-3);
+  EXPECT_EQ(edge_list(g), edge_list(make_ring_lattice(c)));
+}
+
+// ----------------------------------------------------------- attach_hosts
+
+TEST(TopologyProperty, AttachHostsInvariants) {
+  WaxmanConfig wc;
+  wc.nodes = 19;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    HostAttachmentConfig hc;
+    hc.host_count = 120;
+    hc.seed = seed;
+    const Graph backbone = make_waxman(wc);
+    const AttachedNetwork net = attach_hosts(backbone, hc);
+    EXPECT_TRUE(net.graph.connected());
+    EXPECT_EQ(net.hosts.size(), 120u);
+    EXPECT_EQ(net.graph.node_count(), backbone.node_count() + 120u);
+    for (std::size_t i = 0; i < net.hosts.size(); ++i) {
+      ASSERT_EQ(net.graph.degree(net.hosts[i]), 1u);  // hosts are leaves
+      EXPECT_TRUE(net.is_router(net.attachment[i]));
+      const Edge& access = net.graph.neighbors(net.hosts[i]).front();
+      EXPECT_GE(access.delay, hc.min_delay_ms * 1e-3);
+      EXPECT_LE(access.delay, hc.max_delay_ms * 1e-3);
+      EXPECT_DOUBLE_EQ(access.capacity, hc.access_capacity);
+    }
+    const AttachedNetwork again = attach_hosts(backbone, hc);
+    EXPECT_EQ(edge_list(net.graph), edge_list(again.graph));
+    EXPECT_EQ(net.attachment, again.attachment);
+  }
+}
+
+// ----------------------------------------------------------- hierarchical
+
+TEST(TopologyProperty, HierarchicalInvariants) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    HierarchicalConfig c;
+    c.routers = 56;
+    c.hosts = 400;
+    c.seed = seed;
+    const AttachedNetwork net = make_hierarchical(c);
+    EXPECT_TRUE(net.graph.connected());
+    EXPECT_EQ(net.hosts.size(), 400u);
+    for (std::size_t i = 0; i < net.hosts.size(); ++i) {
+      ASSERT_EQ(net.graph.degree(net.hosts[i]), 1u);
+      EXPECT_TRUE(net.is_router(net.attachment[i]));
+      const Edge& access = net.graph.neighbors(net.hosts[i]).front();
+      EXPECT_GE(access.delay, c.access_delay.min_ms * 1e-3);
+      EXPECT_LE(access.delay, c.access_delay.max_ms * 1e-3);
+    }
+    // Router-tier delays: any router-router edge is either transit-core
+    // or a stub uplink, so it lies in the union of both envelopes.
+    const Time lo =
+        std::min(c.transit_delay.min_ms, c.stub_delay.min_ms) * 1e-3;
+    const Time hi =
+        std::max(c.transit_delay.max_ms, c.stub_delay.max_ms) * 1e-3;
+    for (std::size_t r = 0; r < net.router_count; ++r) {
+      for (const Edge& e : net.graph.neighbors(static_cast<NodeId>(r))) {
+        if (!net.is_router(e.to)) continue;
+        EXPECT_GE(e.delay, lo);
+        EXPECT_LE(e.delay, hi);
+      }
+    }
+    const AttachedNetwork again = make_hierarchical(c);
+    EXPECT_EQ(edge_list(net.graph), edge_list(again.graph));
+    EXPECT_EQ(net.attachment, again.attachment);
+  }
+}
+
+}  // namespace
+}  // namespace emcast::topology

@@ -71,5 +71,75 @@ TEST(DelayTracer, RecordDelayExplicitValue) {
   EXPECT_DOUBLE_EQ(t.flow(3).max(), 0.125);
 }
 
+TEST(DelayTracer, QuantilesOffByDefault) {
+  DelayTracer t;
+  t.record_delay(0, 0.5, 1.0);
+  EXPECT_FALSE(t.quantiles_enabled());
+  EXPECT_DOUBLE_EQ(t.quantile(0.5), 0.0);
+}
+
+TEST(DelayTracer, QuantileSketchTracksDelays) {
+  DelayTracer t;
+  t.enable_quantiles();
+  for (int i = 1; i <= 100; ++i) {
+    t.record_delay(0, 1e-3 * static_cast<double>(i), 1.0);
+  }
+  EXPECT_TRUE(t.quantiles_enabled());
+  EXPECT_NEAR(t.quantile(0.5), 0.050, 0.050 * 0.05);
+  EXPECT_DOUBLE_EQ(t.quantile(1.0), 0.100);  // exact max from the stats
+}
+
+TEST(DelayTracer, QuantileSketchRespectsWarmup) {
+  DelayTracer t(2.0);
+  t.enable_quantiles();
+  t.record_delay(0, 9.0, 1.0);   // inside warm-up: sketch must skip it
+  t.record_delay(0, 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(t.quantile(1.0), 0.5);
+}
+
+TEST(DelayTracer, QuantileSketchMergesExactly) {
+  // Per-shard tracers merged in any order equal the single tracer: the
+  // determinism contract for scale-run summaries.
+  DelayTracer whole;
+  whole.enable_quantiles();
+  DelayTracer a, b;
+  a.enable_quantiles();
+  b.enable_quantiles();
+  for (int i = 1; i <= 200; ++i) {
+    const double d = 1e-3 * static_cast<double>(1 + (i * 61) % 199);
+    whole.record_delay(0, d, 1.0);
+    (i % 2 ? a : b).record_delay(0, d, 1.0);
+  }
+  DelayTracer merged_ab;
+  merged_ab.enable_quantiles();
+  merged_ab.merge(a);
+  merged_ab.merge(b);
+  DelayTracer merged_ba;
+  merged_ba.enable_quantiles();
+  merged_ba.merge(b);
+  merged_ba.merge(a);
+  EXPECT_EQ(merged_ab.quantile(0.5), whole.quantile(0.5));
+  EXPECT_EQ(merged_ba.quantile(0.5), whole.quantile(0.5));
+  EXPECT_EQ(merged_ab.quantile(0.99), whole.quantile(0.99));
+  EXPECT_EQ(merged_ba.quantile(0.99), whole.quantile(0.99));
+}
+
+TEST(DelayTracer, CopyPreservesSketch) {
+  DelayTracer t;
+  t.enable_quantiles();
+  t.record_delay(0, 0.25, 1.0);
+  DelayTracer copy = t;            // deep copy of the sketch
+  copy.record_delay(0, 0.75, 1.0);
+  EXPECT_DOUBLE_EQ(t.quantile(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(copy.quantile(1.0), 0.75);
+}
+
+TEST(DelayTracer, MemoryBytesGrowsWithSketch) {
+  DelayTracer plain;
+  DelayTracer sketched;
+  sketched.enable_quantiles();
+  EXPECT_GT(sketched.memory_bytes(), plain.memory_bytes());
+}
+
 }  // namespace
 }  // namespace emcast::sim

@@ -1,0 +1,86 @@
+#include "topology/host_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emcast::topology {
+namespace {
+
+TEST(HostTable, ResizeInitialisesLanes) {
+  HostTable t(4);
+  EXPECT_EQ(t.size(), 4u);
+  for (std::size_t h = 0; h < 4; ++h) {
+    EXPECT_DOUBLE_EQ(t.uplink(h), 0.0);
+    EXPECT_DOUBLE_EQ(t.busy_until(h), 0.0);
+    EXPECT_EQ(t.pipeline(h), kNoPipeline);
+    EXPECT_EQ(t.flags(h), 0u);
+  }
+}
+
+TEST(HostTable, LaneAccessorsReadBack) {
+  HostTable t(3);
+  t.uplink(1) = 10e6;
+  t.busy_until(1) = 2.5;
+  t.pipeline(1) = 7;
+  t.flags(1) |= 0x3;
+  const HostTable& ct = t;
+  EXPECT_DOUBLE_EQ(ct.uplink(1), 10e6);
+  EXPECT_DOUBLE_EQ(ct.busy_until(1), 2.5);
+  EXPECT_EQ(ct.pipeline(1), 7u);
+  EXPECT_EQ(ct.flags(1), 0x3);
+  // Untouched hosts keep defaults.
+  EXPECT_EQ(ct.pipeline(0), kNoPipeline);
+}
+
+TEST(HostTable, ResizeResetsState) {
+  HostTable t(2);
+  t.uplink(0) = 1.0;
+  t.pipeline(0) = 5;
+  t.resize(2);
+  EXPECT_DOUBLE_EQ(t.uplink(0), 0.0);
+  EXPECT_EQ(t.pipeline(0), kNoPipeline);
+}
+
+TEST(HostTable, LaneBytesAreExactStrides) {
+  HostTable t(100);
+  // Rate + Time + uint32 pipeline + uint8 flags per host.
+  const std::size_t expect =
+      100 * (sizeof(Rate) + sizeof(Time) + sizeof(std::uint32_t) +
+             sizeof(std::uint8_t));
+  EXPECT_EQ(t.lane_bytes(), expect);
+}
+
+TEST(HostTable, BudgetSumsLanesAndSideTables) {
+  HostTable t(10);
+  t.register_side_table("pipelines", 1000);
+  t.register_side_table("loss_models", 500);
+  const HostMemoryBudget b = t.budget();
+  EXPECT_EQ(b.hosts, 10u);
+  EXPECT_EQ(b.lane_bytes, t.lane_bytes());
+  EXPECT_EQ(b.side_bytes, 1500u);
+  EXPECT_EQ(b.total_bytes(), t.lane_bytes() + 1500u);
+  EXPECT_DOUBLE_EQ(b.bytes_per_host(),
+                   static_cast<double>(b.total_bytes()) / 10.0);
+  // Breakdown itemises lanes first, then each side table.
+  ASSERT_EQ(b.breakdown.size(), 3u);
+  EXPECT_EQ(b.breakdown[0].first, "lanes");
+  EXPECT_EQ(b.breakdown[0].second, t.lane_bytes());
+}
+
+TEST(HostTable, RegisterSideTableUpdatesByName) {
+  HostTable t(1);
+  t.register_side_table("pipelines", 100);
+  t.register_side_table("pipelines", 250);  // re-register replaces
+  const HostMemoryBudget b = t.budget();
+  EXPECT_EQ(b.side_bytes, 250u);
+}
+
+TEST(HostTable, EmptyTableBudgetIsSane) {
+  HostTable t;
+  const HostMemoryBudget b = t.budget();
+  EXPECT_EQ(b.hosts, 0u);
+  EXPECT_EQ(b.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(b.bytes_per_host(), 0.0);
+}
+
+}  // namespace
+}  // namespace emcast::topology
