@@ -21,6 +21,7 @@
 #include "topology/host_table.hpp"
 #include "traffic/trace_recorder.hpp"
 #include "traffic/trace_source.hpp"
+#include "util/bytes.hpp"
 #include "util/stats.hpp"
 
 namespace emcast::experiments {
@@ -113,9 +114,16 @@ bool engine_reusable(const sim::Engine& engine,
   const sim::EngineConfig& ec = engine.config();
   if (ec.kind != config.engine) return false;
   if (ec.kind == sim::EngineKind::Single) return true;
-  return ec.shards == std::max<std::size_t>(1, config.shards) &&
-         ec.threads == config.threads &&
-         ec.mailbox_capacity == config.mailbox_capacity;
+  if (ec.shards != std::max<std::size_t>(1, config.shards) ||
+      ec.mailbox_capacity != config.mailbox_capacity) {
+    return false;
+  }
+  if (ec.kind == sim::EngineKind::Process) {
+    return ec.processes == config.processes &&
+           ec.transport == config.transport &&
+           ec.timeout_seconds == config.process_timeout_seconds;
+  }
+  return ec.threads == config.threads;
 }
 
 }  // namespace
@@ -207,6 +215,18 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     throw std::invalid_argument(
         "run_multigroup: recorder needs one lane per group");
   }
+  // Recording captures at the source boundary, which on the process
+  // engine fires inside the forked workers: the caller's recorder would
+  // stay empty (the workers' copies die at _exit).  Reject rather than
+  // silently return an empty trace.  Replay is fine — the trace buffer is
+  // read-only and every worker inherits it through fork.
+  if (config.record != nullptr &&
+      config.engine == sim::EngineKind::Process) {
+    throw std::invalid_argument(
+        "run_multigroup: record is not supported on the process engine "
+        "(sources emit in worker processes; record on single/sharded and "
+        "replay the trace here instead)");
+  }
 
   const auto mg = build_trees(config);
   const std::size_t n = mg.host_count();
@@ -244,10 +264,19 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   // built fresh into the slot.
   MultiGroupSimResult r;
   const bool reuse = engine_slot && engine_reusable(*engine_slot, config);
-  if (config.engine == sim::EngineKind::Sharded) {
+  if (config.engine != sim::EngineKind::Single) {
+    // Sharded and Process share the partition and lookahead derivation —
+    // the process backend is the same round protocol with the shard
+    // blocks owned by forked workers instead of threads.
     ShardedMultigroupEngine setup = sharded_engine_config(
         mg, config.shards, config.threads, config.mailbox_capacity,
         config.fwd_overhead);
+    if (config.engine == sim::EngineKind::Process) {
+      setup.engine.kind = sim::EngineKind::Process;
+      setup.engine.processes = config.processes;
+      setup.engine.transport = config.transport;
+      setup.engine.timeout_seconds = config.process_timeout_seconds;
+    }
     r.cross_edges = setup.cross_edges;
     r.total_edges = setup.total_edges;
     // Churn re-parents members mid-run, so the minimum cross-shard edge
@@ -724,6 +753,90 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     injector.arm(engine);
   }
 
+  // Process backend: the measurement state above (shard tracers, quantile
+  // sketch, k-min sample, trace, churn counters) accumulates in the forked
+  // WORKERS' copies of this frame; these hooks carry each shard's slice
+  // back as a result blob.  The writer runs in the owning worker at end of
+  // run, the reader replays the blob into the parent's (untouched) copies
+  // in ascending shard order, so the post-run merge below is
+  // engine-agnostic and — because stats travel as exact bit patterns and
+  // the k-min winning set is a pure function of the records re-offered —
+  // byte-identical to the in-process engines.
+  std::uint64_t process_mode_switches = 0;
+  if (config.engine == sim::EngineKind::Process) {
+    const auto put_rec = [](util::ByteWriter& w, const DeliveryRecord& rec) {
+      w.u64(rec.time_key);
+      w.u64(rec.packet_id);
+      w.i32(rec.group);
+      w.i32(rec.host);
+    };
+    const auto get_rec = [](util::ByteReader& rd) {
+      DeliveryRecord rec;
+      rec.time_key = rd.u64();
+      rec.packet_id = rd.u64();
+      rec.group = rd.i32();
+      rec.host = rd.i32();
+      return rec;
+    };
+    engine.set_shard_results(
+        [&, put_rec](std::size_t s, std::vector<std::uint8_t>& blob) {
+          util::ByteWriter w(blob);
+          const ShardState& ss = shard_state[s];
+          ss.tracer.save(w);
+          w.u64(ss.losses);
+          w.u64(ss.churn_losses);
+          w.u64(ss.violations_repair);
+          w.u64(ss.violations_steady);
+          w.f64(ss.reconv_sum);
+          w.f64(ss.reconv_max);
+          w.u64(ss.reconv_count);
+          // Mode switches are scraped off the pipelines post-run on the
+          // in-process engines; here the counters live in this worker, so
+          // each shard ships the sum over the hosts it owns.
+          std::uint64_t switches = 0;
+          for (const Pipeline& pl : pipelines) {
+            if (pl.regulated &&
+                engine.shard_of_host(static_cast<HostId>(pl.host)) == s) {
+              switches += pl.regulated->mode_switches();
+            }
+          }
+          w.u64(switches);
+          w.u32(static_cast<std::uint32_t>(ss.sample.size()));
+          for (const DeliveryRecord& rec : ss.sample.records()) {
+            put_rec(w, rec);
+          }
+          w.u64(ss.trace.size());
+          for (const DeliveryRecord& rec : ss.trace) put_rec(w, rec);
+        },
+        [&, get_rec](std::size_t s, const std::uint8_t* data,
+                     std::size_t size) {
+          util::ByteReader rd(data, size);
+          ShardState& ss = shard_state[s];
+          ss.tracer.load(rd);
+          ss.losses = rd.u64();
+          ss.churn_losses = rd.u64();
+          ss.violations_repair = rd.u64();
+          ss.violations_steady = rd.u64();
+          ss.reconv_sum = rd.f64();
+          ss.reconv_max = rd.f64();
+          ss.reconv_count = rd.u64();
+          process_mode_switches += rd.u64();
+          // Re-offering the worker's winners reproduces its sample
+          // exactly: the winning set is a pure function of the offered
+          // records, and these ARE the winners.
+          const std::uint32_t samples = rd.u32();
+          for (std::uint32_t i = 0; i < samples; ++i) {
+            const DeliveryRecord rec = get_rec(rd);
+            ss.sample.offer(delivery_sample_key(rec), rec);
+          }
+          const std::uint64_t traced = rd.u64();
+          ss.trace.reserve(static_cast<std::size_t>(traced));
+          for (std::uint64_t i = 0; i < traced; ++i) {
+            ss.trace.push_back(get_rec(rd));
+          }
+        });
+  }
+
   engine.run(config.duration + 3.0);
 
   sim::DelayTracer merged(config.warmup);
@@ -768,11 +881,18 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
     r.max_layers = std::max(r.max_layers, mg.tree(g).hierarchy_layers());
     r.max_height_hops = std::max(r.max_height_hops, mg.tree(g).height_hops());
   }
-  for (const Pipeline& pl : pipelines) {
-    if (pl.regulated) r.mode_switches += pl.regulated->mode_switches();
+  if (config.engine == sim::EngineKind::Process) {
+    // The parent's pipelines never executed; the per-shard sums arrived
+    // in the result blobs.
+    r.mode_switches = process_mode_switches;
+  } else {
+    for (const Pipeline& pl : pipelines) {
+      if (pl.regulated) r.mode_switches += pl.regulated->mode_switches();
+    }
   }
   r.shards = engine.shard_count();
   r.threads = engine.thread_count();
+  r.processes = engine.process_count();
   r.rounds = engine.rounds();
   r.messages = engine.messages_posted();
   r.messages_spilled = engine.messages_spilled();
@@ -783,6 +903,7 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
   // dangling captures; the next warm run installs its own state anyway.
   engine.reset();
   engine.set_deliver({});
+  engine.set_shard_results({}, {});
   return r;
 }
 

@@ -109,10 +109,22 @@ struct MultiGroupSimConfig {
   /// forwarding fan-out), owns each host's AdaptiveHost/MUX pipeline on
   /// exactly one shard, and produces byte-identical canonical traces to
   /// Single for every shard and worker-thread count (the regulated
-  /// differential suite pins this).
+  /// differential suite pins this).  Process reuses the same partition
+  /// and lookahead derivation but runs the shard blocks in forked worker
+  /// processes (sim/process_backend.hpp): measurement state is carried
+  /// back through per-shard result blobs, so traces, summaries and
+  /// telemetry stay byte-identical to the in-process engines.  One
+  /// restriction: `record` is rejected on Process (the recorder would
+  /// capture in the workers and be lost at _exit); `replay` is fine —
+  /// the trace buffer is read-only and fork-shared.
   sim::EngineKind engine = sim::EngineKind::Single;
-  std::size_t shards = 1;        ///< Sharded: model partitions
+  std::size_t shards = 1;        ///< Sharded/Process: model partitions
   std::size_t threads = 0;       ///< Sharded: workers; 0 = auto
+  std::size_t processes = 0;     ///< Process: workers; 0 = auto
+  /// Process: hub<->worker transport (shared-memory rings or sockets).
+  sim::TransportKind transport = sim::TransportKind::Shm;
+  /// Process: deadline for every blocking protocol step.
+  double process_timeout_seconds = 30.0;
   std::size_t mailbox_capacity = 4096;
   bool collect_trace = false;    ///< record every delivery (tests)
   /// Bounded deterministic delivery sample (scale runs, where
@@ -158,6 +170,7 @@ struct MultiGroupSimResult {
   // Sharding telemetry (defaults when engine == Single).
   std::size_t shards = 1;
   std::size_t threads = 1;
+  std::size_t processes = 0;  ///< Process-engine workers (0 otherwise)
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;        ///< cross-shard packets staged
   std::uint64_t messages_spilled = 0;

@@ -7,7 +7,15 @@
 namespace emcast::sim {
 
 const char* to_string(EngineKind kind) {
-  return kind == EngineKind::Single ? "single" : "sharded";
+  switch (kind) {
+    case EngineKind::Single:
+      return "single";
+    case EngineKind::Sharded:
+      return "sharded";
+    case EngineKind::Process:
+      return "process";
+  }
+  return "?";
 }
 
 namespace {
@@ -45,23 +53,44 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   }
 
   validate_shard_map(config_.shard_of, config_.shards);
-  ShardedConfig shc;
-  shc.shards = config_.shards;
-  shc.threads = config_.threads;
-  shc.lookahead = config_.lookahead;
-  shc.mailbox_capacity = config_.mailbox_capacity;
-  shc.pin_threads = config_.pin_threads;
-  shc.lookahead_matrix = config_.lookahead_matrix;
-  sharded_ = std::make_unique<ShardedSimulator>(shc);
+  std::size_t shard_count;
+  if (config_.kind == EngineKind::Sharded) {
+    ShardedConfig shc;
+    shc.shards = config_.shards;
+    shc.threads = config_.threads;
+    shc.lookahead = config_.lookahead;
+    shc.mailbox_capacity = config_.mailbox_capacity;
+    shc.pin_threads = config_.pin_threads;
+    shc.lookahead_matrix = config_.lookahead_matrix;
+    sharded_ = std::make_unique<ShardedSimulator>(shc);
+    shard_count = sharded_->shard_count();
+  } else {
+    ProcessConfig pc;
+    pc.shards = config_.shards;
+    pc.processes = config_.processes;
+    pc.lookahead = config_.lookahead;
+    pc.mailbox_capacity = config_.mailbox_capacity;
+    pc.transport = config_.transport;
+    pc.timeout_seconds = config_.timeout_seconds;
+    pc.lookahead_matrix = config_.lookahead_matrix;
+    process_ = std::make_unique<ProcessSimulator>(pc);
+    shard_count = process_->shard_count();
+  }
 
+  // Both rounds backends expose the SAME Shard objects, so the context
+  // records — and with them every model-visible behaviour of SimContext —
+  // are identical; on the process backend the workers simply inherit
+  // them (and the handler below) through fork.
+  auto shard_at = [this](std::size_t i) -> Shard& {
+    return sharded_ != nullptr ? sharded_->shard(i) : process_->shard(i);
+  };
   const std::uint32_t* shard_of =
       config_.shard_of.empty() ? nullptr : config_.shard_of.data();
-  backends_.reserve(sharded_->shard_count());
-  for (std::size_t i = 0; i < sharded_->shard_count(); ++i) {
+  backends_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
     backends_.push_back(detail::ContextBackend{
-        &sharded_->shard(i).sim(), &sharded_->shard(i),
-        static_cast<std::uint32_t>(i), shard_of, config_.shard_of.size(),
-        &deliver_});
+        &shard_at(i).sim(), &shard_at(i), static_cast<std::uint32_t>(i),
+        shard_of, config_.shard_of.size(), &deliver_});
   }
   // Cross-shard arrivals: the drain handler only schedules locally (the
   // ShardMsgHandler contract); the model's DeliverFn then fires at the
@@ -70,7 +99,7 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   // nondecreasing deliver_at run — and turns it into chunked
   // schedule_batch calls: sequence numbers land in the same sorted order
   // the per-message handler would assign, one calendar touch per chunk.
-  sharded_->set_batch_message_handler(
+  ShardBatchMsgHandler on_batch =
       [this](Shard& shard, const CrossShardMsg* msgs, std::size_t count) {
         const detail::ContextBackend* b = &backends_[shard.index()];
         constexpr std::size_t kChunk = 64;
@@ -87,14 +116,21 @@ Engine::Engine(EngineConfig config) : config_(std::move(config)) {
             };
           });
         }
-      });
+      };
+  if (sharded_ != nullptr) {
+    sharded_->set_batch_message_handler(std::move(on_batch));
+  } else {
+    process_->set_batch_message_handler(std::move(on_batch));
+  }
 }
 
 void Engine::reset() {
   if (single_ != nullptr) {
     single_->reset_discarding(0.0);
-  } else {
+  } else if (sharded_ != nullptr) {
     sharded_->reset();
+  } else {
+    process_->reset();
   }
 }
 
@@ -117,7 +153,11 @@ void Engine::reset(std::vector<std::uint32_t> shard_of, Time lookahead,
   // scalar clears the backend's old matrix; the new one (when given)
   // installs after, so a validation throw leaves the engine reset on the
   // uniform scalar rather than on a half-committed matrix.
-  sharded_->reset(lookahead);
+  if (sharded_ != nullptr) {
+    sharded_->reset(lookahead);
+  } else {
+    process_->reset(lookahead);
+  }
   config_.lookahead = lookahead;
   config_.lookahead_matrix.clear();
   config_.shard_of = std::move(shard_of);
@@ -129,18 +169,25 @@ void Engine::reset(std::vector<std::uint32_t> shard_of, Time lookahead,
     b.shard_of_size = config_.shard_of.size();
   }
   if (!lookahead_matrix.empty()) {
-    sharded_->set_lookahead_matrix(lookahead_matrix);  // validates
+    if (sharded_ != nullptr) {
+      sharded_->set_lookahead_matrix(lookahead_matrix);  // validates
+    } else {
+      process_->set_lookahead_matrix(lookahead_matrix);
+    }
     config_.lookahead_matrix = std::move(lookahead_matrix);
   }
 }
 
 std::uint64_t Engine::run(Time until) {
-  return single_ != nullptr ? single_->run(until) : sharded_->run(until);
+  if (single_ != nullptr) return single_->run(until);
+  if (sharded_ != nullptr) return sharded_->run(until);
+  return process_->run(until);
 }
 
 std::uint64_t Engine::events_executed() const {
-  return single_ != nullptr ? single_->events_executed()
-                            : sharded_->events_executed();
+  if (single_ != nullptr) return single_->events_executed();
+  if (sharded_ != nullptr) return sharded_->events_executed();
+  return process_->events_executed();
 }
 
 }  // namespace emcast::sim

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "sim/packet.hpp"
+#include "sim/process_backend.hpp"
 #include "sim/shard.hpp"
 #include "sim/sharded_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -265,9 +266,12 @@ inline void SimContext::deliver_batch(const DeliveryItem* items,
 
 /// Which kernel an Engine stands up.  Purely a performance/scale knob:
 /// models written against SimContext produce byte-identical traces on
-/// both (given the model's event times are tie-free across hosts — see
-/// docs/engine.md).
-enum class EngineKind { Single, Sharded };
+/// all three (given the model's event times are tie-free across hosts —
+/// see docs/engine.md).  Process runs the same conservative-rounds
+/// protocol as Sharded, but with one OS process per shard group and a
+/// wire transport instead of shared-memory rings — the distributed
+/// backend (sim/process_backend.hpp).
+enum class EngineKind { Single, Sharded, Process };
 
 const char* to_string(EngineKind kind);
 
@@ -296,6 +300,16 @@ struct EngineConfig {
   /// experiments derive it from the partition's per-pair minimum
   /// cross-edge delay to widen the conservative windows.
   std::vector<Time> lookahead_matrix;
+  /// -- Process only --------------------------------------------------------
+  /// Worker processes; 0 = min(shards, hardware_concurrency).  A
+  /// throughput knob like `threads` — results are identical for every
+  /// value (same contiguous shard blocks).
+  std::size_t processes = 0;
+  /// Hub <-> worker transport: shared-memory rings or stream sockets.
+  TransportKind transport = TransportKind::Shm;
+  /// Deadline for every blocking channel operation on the process
+  /// backend; a wedged peer surfaces as std::runtime_error after this.
+  double timeout_seconds = 30.0;
 };
 
 /// Owns one backend — a single-threaded Simulator or a ShardedSimulator —
@@ -354,6 +368,10 @@ class Engine {
   std::size_t thread_count() const {
     return sharded_ != nullptr ? sharded_->thread_count() : 1;
   }
+  /// Worker processes of the Process backend (0 otherwise).
+  std::size_t process_count() const {
+    return process_ != nullptr ? process_->process_count() : 0;
+  }
   Time lookahead() const { return config_.lookahead; }
 
   /// Install the model's delivery handler (before run(); required for any
@@ -366,12 +384,29 @@ class Engine {
   /// the contract and the window-boundary remap rule).  Cleared by the
   /// rebinding reset overload; retained across plain reset().
   void set_lookahead_plan(std::vector<LookaheadEpoch> plan) {
-    if (sharded_ != nullptr) sharded_->set_lookahead_plan(std::move(plan));
+    if (sharded_ != nullptr) {
+      sharded_->set_lookahead_plan(std::move(plan));
+    } else if (process_ != nullptr) {
+      process_->set_lookahead_plan(std::move(plan));
+    }
   }
 
   /// Number of epochs in the installed plan (0 = uniform lookahead).
   std::size_t lookahead_plan_epochs() const {
-    return sharded_ != nullptr ? sharded_->lookahead_plan().size() : 0;
+    if (sharded_ != nullptr) return sharded_->lookahead_plan().size();
+    if (process_ != nullptr) return process_->lookahead_plan().size();
+    return 0;
+  }
+
+  /// Process only (no-op elsewhere — in-process backends read model state
+  /// directly): install the result-marshalling hooks that carry each
+  /// shard's model results from its worker back to the hub (see
+  /// ShardResultWriter/Reader).  Install before run(), alongside
+  /// set_deliver; cleared the same way models clear their DeliverFn.
+  void set_shard_results(ShardResultWriter writer, ShardResultReader reader) {
+    if (process_ != nullptr) {
+      process_->set_result_hooks(std::move(writer), std::move(reader));
+    }
   }
 
   /// Context of kernel `shard` (0 on the single backend).
@@ -400,19 +435,26 @@ class Engine {
   // -- telemetry (zeros where the single backend has no counterpart) ------
   std::uint64_t events_executed() const;
   std::uint64_t rounds() const {
-    return sharded_ != nullptr ? sharded_->rounds() : 0;
+    if (sharded_ != nullptr) return sharded_->rounds();
+    if (process_ != nullptr) return process_->rounds();
+    return 0;
   }
   std::uint64_t messages_posted() const {
-    return sharded_ != nullptr ? sharded_->messages_posted() : 0;
+    if (sharded_ != nullptr) return sharded_->messages_posted();
+    if (process_ != nullptr) return process_->messages_posted();
+    return 0;
   }
   std::uint64_t messages_spilled() const {
-    return sharded_ != nullptr ? sharded_->messages_spilled() : 0;
+    if (sharded_ != nullptr) return sharded_->messages_spilled();
+    if (process_ != nullptr) return process_->messages_spilled();
+    return 0;
   }
 
  private:
   EngineConfig config_;
   std::unique_ptr<Simulator> single_;
   std::unique_ptr<ShardedSimulator> sharded_;
+  std::unique_ptr<ProcessSimulator> process_;
   DeliverFn deliver_;
   std::vector<detail::ContextBackend> backends_;
 };

@@ -120,6 +120,7 @@ class Shard {
 
  private:
   friend class ShardedSimulator;
+  friend class ProcessSimulator;
   Shard() = default;
 
   /// Warm rewind for a new run (ShardedSimulator::reset): discard the

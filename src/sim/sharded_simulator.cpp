@@ -11,18 +11,12 @@ namespace emcast::sim {
 
 namespace {
 
-/// All pending times are finite (push rejects non-finite), so the key of
-/// +infinity is a safe "empty" sentinel for the min-reduction.
-const std::uint64_t kInfKey = time_key(kTimeInfinity);
-
-/// Abort vote: rides the min-reduction below every real time key (keys of
-/// finite times are never 0 — non-negative times set the sign bit and the
-/// all-ones pattern that complements to 0 is a NaN, which push rejects).
-/// A failed worker votes this instead of a next-event time; every thread
-/// then observes the abort at the same aligned decision point it reads
-/// the window from, so the exit cannot split across barrier indices the
-/// way an asynchronous flag can.
-constexpr std::uint64_t kAbortKey = 0;
+/// Sentinels shared with the process backend (sim/window_policy.hpp):
+/// kInfKey = no pending events, kAbortKey = a failed worker's vote riding
+/// the min-reduction below every real time key, so every thread observes
+/// an abort at the same aligned decision point it reads the window from.
+const std::uint64_t kInfKey = kInfTimeKey;
+constexpr std::uint64_t kAbortKey = kAbortTimeKey;
 
 void fetch_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
   std::uint64_t cur = slot.load(std::memory_order_relaxed);
@@ -48,6 +42,7 @@ ShardedSimulator::ShardedSimulator(const ShardedConfig& config)
     throw std::invalid_argument("ShardedSimulator: lookahead must be > 0");
   }
   const std::size_t n = std::max<std::size_t>(1, config.shards);
+  policy_.init(n, config.lookahead);
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.emplace_back(std::unique_ptr<Shard>(new Shard()));
@@ -147,6 +142,7 @@ void ShardedSimulator::reset(Time lookahead) {
   // that a later keep-current reset would silently propagate.
   for (auto& s : shards_) s->reset(next_lookahead);
   config_.lookahead = next_lookahead;
+  policy_.set_scalar(next_lookahead);
   if (!(lookahead <= 0.0)) {
     // Explicit rebind: the installed plan AND pair matrix were derived
     // for the previous routing/schedule, so they die with it — the
@@ -154,9 +150,8 @@ void ShardedSimulator::reset(Time lookahead) {
     // uniform matrix of that scalar).  A keep-current reset(0) retains
     // both (warm re-runs of the same schedule), but the shard floors
     // were just rewound by Shard::reset — re-derive them.
-    plan_.clear();
-    matrix_.clear();
-  } else if (!plan_.empty() || !matrix_.empty()) {
+    policy_.clear_plan_and_matrix();
+  } else if (!policy_.plan().empty() || !policy_.matrix().empty()) {
     apply_shard_floor();
   }
   rounds_ = 0;
@@ -167,74 +162,16 @@ void ShardedSimulator::reset(Time lookahead) {
 }
 
 void ShardedSimulator::set_lookahead_plan(std::vector<LookaheadEpoch> plan) {
-  for (std::size_t e = 0; e < plan.size(); ++e) {
-    if (!(plan[e].lookahead > 0) || !std::isfinite(plan[e].lookahead)) {
-      throw std::invalid_argument(
-          "ShardedSimulator::set_lookahead_plan: lookahead must be > 0");
-    }
-    if (!std::isfinite(plan[e].from) ||
-        (e > 0 && !(plan[e].from > plan[e - 1].from))) {
-      throw std::invalid_argument(
-          "ShardedSimulator::set_lookahead_plan: epochs must be sorted by "
-          "strictly increasing from");
-    }
-  }
-  plan_ = std::move(plan);
+  policy_.set_plan(std::move(plan));  // validates
   apply_shard_floor();
 }
 
 void ShardedSimulator::set_lookahead_matrix(std::vector<Time> matrix) {
-  const std::size_t n = shards_.size();
-  if (!matrix.empty() && matrix.size() != n * n) {
-    throw std::invalid_argument(
-        "ShardedSimulator::set_lookahead_matrix: need shards^2 entries");
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i == j || matrix.empty()) continue;
-      const Time v = matrix[i * n + j];
-      // Negated > so NaN is rejected too; +infinity (edge-free pair) is
-      // explicitly allowed, unlike the scalar lookahead.
-      if (!(v > 0)) {
-        throw std::invalid_argument(
-            "ShardedSimulator::set_lookahead_matrix: pair lookahead must "
-            "be > 0");
-      }
-    }
-  }
-  if (!matrix.empty()) {
-    // Min-plus transitive closure (Floyd-Warshall over the shard graph),
-    // INCLUDING the diagonal.  The caller's entries bound DIRECT posts
-    // only; a message can reach dst through an intermediary
-    // (src -> k -> dst) after just L[src][k] + L[k][dst] — far sooner
-    // than a +infinity or large direct entry suggests.  The diagonal
-    // D[i][i] becomes the minimum CYCLE cost through i: shard i's own
-    // execution at u can boomerang back (i -> ... -> i) and land at
-    // u + D[i][i], so i's window is bounded by its own clock too — a
-    // bound the uniform-scalar protocol got implicitly from running
-    // every shard to the same tmin + L.  Windows derived from unclosed
-    // entries let a shard run ahead of relayed or reflected traffic and
-    // break the no-arrivals-in-the-past invariant, so the closure is
-    // computed here rather than trusted from the caller.  Entries only
-    // shrink toward the true earliest-influence bound, and closing an
-    // already-closed matrix is a no-op.  (Diagonal inputs are ignored:
-    // the cycle bound is rebuilt from the off-diagonal entries.)
-    for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] = kTimeInfinity;
-    for (std::size_t k = 0; k < n; ++k) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (i == k) continue;
-        const Time ik = matrix[i * n + k];
-        if (!std::isfinite(ik)) continue;
-        for (std::size_t j = 0; j < n; ++j) {
-          if (j == k) continue;
-          const Time via = ik + matrix[k * n + j];
-          Time& d = matrix[i * n + j];
-          if (via < d) d = via;
-        }
-      }
-    }
-  }
-  matrix_ = std::move(matrix);
+  // Validation AND the min-plus transitive closure (Floyd-Warshall
+  // including the diagonal — the minimum feedback-cycle cost) live in
+  // WindowPolicy::set_matrix, shared with the process backend so both
+  // derive windows from the identical closed matrix.
+  policy_.set_matrix(std::move(matrix));
   apply_shard_floor();
 }
 
@@ -242,13 +179,12 @@ void ShardedSimulator::apply_shard_floor() {
   // While a plan is installed, Shard::post's assert floor (and
   // SimContext::lookahead()) is the weakest epoch guarantee; the per-epoch
   // contract itself is the model's (documented in set_lookahead_plan).
-  Time floor = config_.lookahead;
-  for (const LookaheadEpoch& e : plan_) floor = std::min(floor, e.lookahead);
+  const Time floor = policy_.floor();
   const std::size_t n = shards_.size();
   for (std::size_t i = 0; i < n; ++i) {
     Shard& s = *shards_[i];
     s.lookahead_ = floor;
-    if (matrix_.empty()) {
+    if (policy_.matrix().empty()) {
       s.post_floor_.clear();
       continue;
     }
@@ -262,52 +198,9 @@ void ShardedSimulator::apply_shard_floor() {
     s.post_floor_.assign(n, floor);
     for (std::size_t dst = 0; dst < n; ++dst) {
       if (dst == i) continue;
-      const Time pair = matrix_[i * n + dst];
-      s.post_floor_[dst] = plan_.empty() ? pair : std::min(pair, floor);
+      s.post_floor_[dst] = policy_.pair_floor(i, dst);
     }
   }
-}
-
-Time ShardedSimulator::window_end(Time tmin) const {
-  Time w = tmin + config_.lookahead;
-  if (!plan_.empty()) {
-    // Epoch in force at tmin: the last entry with from <= tmin (the
-    // construction lookahead covers times before the first epoch).
-    auto it = std::upper_bound(
-        plan_.begin(), plan_.end(), tmin,
-        [](Time t, const LookaheadEpoch& e) { return t < e.from; });
-    if (it != plan_.begin()) w = tmin + std::prev(it)->lookahead;
-    // Remap at the window boundary: an epoch starting inside the window
-    // caps it at b + L(b), so no post made under the old regime can land
-    // inside a window that already runs under the new one.
-    for (; it != plan_.end() && it->from < w; ++it) {
-      w = std::min(w, it->from + it->lookahead);
-    }
-  }
-  return w;
-}
-
-Time ShardedSimulator::pair_window_end(Time t, std::size_t src,
-                                       std::size_t dst) const {
-  const Time pair = matrix_[src * shards_.size() + dst];
-  if (plan_.empty()) {
-    // The pair bound applies alone; an edge-free pair (+inf) yields an
-    // infinite term, i.e. no constraint from this source.
-    return t + pair;
-  }
-  // Plan installed: the effective src->dst bound at any time u is
-  // min(pair, L_plan(u)) — the epoch scalar is a valid global bound even
-  // where churn invalidated the static matrix, so the min composition
-  // stays conservative.  Same epoch-boundary clamping as window_end.
-  Time w = t + std::min(pair, config_.lookahead);
-  auto it = std::upper_bound(
-      plan_.begin(), plan_.end(), t,
-      [](Time u, const LookaheadEpoch& e) { return u < e.from; });
-  if (it != plan_.begin()) w = t + std::min(pair, std::prev(it)->lookahead);
-  for (; it != plan_.end() && it->from < w; ++it) {
-    w = std::min(w, it->from + std::min(pair, it->lookahead));
-  }
-  return w;
 }
 
 void ShardedSimulator::record_error() noexcept {
@@ -375,14 +268,14 @@ void ShardedSimulator::worker_rounds(std::size_t t, Time until) {
     if (tmin > until) break;  // horizon reached; beyond-horizon events stay
     // Uniform-lookahead window (also the matrix path's per-shard floor
     // fallback is built on the same tmin progress argument below).
-    Time w_global = window_end(tmin);
+    Time w_global = policy_.window_end(tmin);
 
     // ---- process phase: run the window on this worker's shard block.
     if (!failed) {
       try {
         for (std::size_t s = begin; s < end; ++s) {
           Time w;
-          if (matrix_.empty()) {
+          if (policy_.matrix().empty()) {
             w = w_global;
           } else {
             // Per-shard window: bounded only by sources that can reach
@@ -398,7 +291,7 @@ void ShardedSimulator::worker_rounds(std::size_t t, Time until) {
               const std::uint64_t kj =
                   shard_key_[j].key.load(std::memory_order_relaxed);
               if (kj == kInfKey) continue;
-              w = std::min(w, pair_window_end(key_time(kj), j, s));
+              w = std::min(w, policy_.pair_window_end(key_time(kj), j, s));
             }
           }
           // Progress floor: arrivals from any source land strictly after

@@ -46,23 +46,11 @@
 #include <vector>
 
 #include "sim/shard.hpp"
+#include "sim/window_policy.hpp"
 #include "util/barrier.hpp"
 #include "util/types.hpp"
 
 namespace emcast::sim {
-
-/// One epoch of a piecewise-constant lookahead plan (see
-/// ShardedSimulator::set_lookahead_plan): from simulated time `from`
-/// onwards — until the next epoch — every cross-shard interaction takes
-/// at least `lookahead` of simulated time.
-struct LookaheadEpoch {
-  Time from = 0;
-  Time lookahead = 0;
-
-  friend bool operator==(const LookaheadEpoch& a, const LookaheadEpoch& b) {
-    return a.from == b.from && a.lookahead == b.lookahead;
-  }
-};
 
 struct ShardedConfig {
   std::size_t shards = 2;
@@ -155,7 +143,9 @@ class ShardedSimulator {
   /// derived for the old routing; a keep-current reset(0) retains it, so
   /// warm re-runs of the same schedule re-install nothing.
   void set_lookahead_plan(std::vector<LookaheadEpoch> plan);
-  const std::vector<LookaheadEpoch>& lookahead_plan() const { return plan_; }
+  const std::vector<LookaheadEpoch>& lookahead_plan() const {
+    return policy_.plan();
+  }
 
   /// Install a per-shard-pair lookahead matrix, flattened row-major
   /// ([src * shards + dst]; shards² entries): matrix[src][dst] is a strict
@@ -187,7 +177,9 @@ class ShardedSimulator {
   /// bound (equivalent to a uniform matrix of that scalar).  A
   /// keep-current reset(0) retains it.
   void set_lookahead_matrix(std::vector<Time> matrix);
-  const std::vector<Time>& lookahead_matrix() const { return matrix_; }
+  const std::vector<Time>& lookahead_matrix() const {
+    return policy_.matrix();
+  }
 
   // -- telemetry ----------------------------------------------------------
   std::uint64_t rounds() const { return rounds_; }
@@ -199,8 +191,6 @@ class ShardedSimulator {
   void worker(std::size_t t, Time until);
   void worker_rounds(std::size_t t, Time until);
   void record_error() noexcept;
-  Time window_end(Time tmin) const;
-  Time pair_window_end(Time t, std::size_t src, std::size_t dst) const;
   void apply_shard_floor();
 
   /// One cache line per shard: its next-event time key, published by the
@@ -214,12 +204,11 @@ class ShardedSimulator {
   };
 
   ShardedConfig config_;
-  /// Piecewise lookahead plan (empty = uniform config_.lookahead).
-  /// Immutable while run() is in flight; workers only read it.
-  std::vector<LookaheadEpoch> plan_;
-  /// Flattened pair lookahead matrix (empty = uniform; see
-  /// set_lookahead_matrix).  Immutable while run() is in flight.
-  std::vector<Time> matrix_;
+  /// The window math (scalar + epoch plan + closed pair matrix) — shared
+  /// with the process backend, so both derive identical windows from the
+  /// same published time keys.  Immutable while run() is in flight;
+  /// workers only read it.
+  WindowPolicy policy_;
   std::size_t threads_ = 1;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<PaddedKey[]> shard_key_;  ///< per-shard time image

@@ -1,5 +1,7 @@
 #include "sim/tracer.hpp"
 
+#include "util/bytes.hpp"
+
 namespace emcast::sim {
 
 DelayTracer& DelayTracer::operator=(const DelayTracer& other) {
@@ -35,6 +37,35 @@ void DelayTracer::merge(const DelayTracer& other) {
   }
   dropped_warmup_ += other.dropped_warmup_;
   if (quantiles_ && other.quantiles_) quantiles_->merge(*other.quantiles_);
+}
+
+void DelayTracer::save(util::ByteWriter& w) const {
+  all_.save(w);
+  w.u64(dropped_warmup_);
+  w.u32(static_cast<std::uint32_t>(per_flow_.size()));
+  for (const auto& [flow, stats] : per_flow_) {
+    w.i32(flow);
+    stats.save(w);
+  }
+  w.u8(quantiles_ ? 1 : 0);
+  if (quantiles_) quantiles_->save(w);
+}
+
+void DelayTracer::load(util::ByteReader& r) {
+  all_.load(r);
+  dropped_warmup_ = r.u64();
+  per_flow_.clear();
+  const std::uint32_t flows = r.u32();
+  for (std::uint32_t i = 0; i < flows; ++i) {
+    const FlowId flow = r.i32();
+    per_flow_[flow].load(r);
+  }
+  if (r.u8() != 0) {
+    if (!quantiles_) quantiles_ = std::make_unique<util::LogHistogram>();
+    quantiles_->load(r);
+  } else {
+    quantiles_.reset();
+  }
 }
 
 void DelayTracer::enable_quantiles(double lo, double hi,

@@ -40,6 +40,15 @@ class DelayTracer {
   /// accumulation by float rounding only.
   void merge(const DelayTracer& other);
 
+  /// Marshal the measurement state — aggregate stats, per-flow breakdown,
+  /// warm-up drop counter and (when enabled) the quantile sketch — into a
+  /// process-backend result blob.  load() replaces this tracer's samples
+  /// with the saved ones (the warm-up horizon is config, not state, and
+  /// is left untouched); save -> load is bit-exact, so a tracer carried
+  /// across a process boundary merges identically to the original.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
   Time worst_case() const { return all_.count() ? all_.max() : 0.0; }
   const util::OnlineStats& all() const { return all_; }
 

@@ -1,0 +1,138 @@
+#include "sim/window_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emcast::sim {
+
+void WindowPolicy::init(std::size_t shards, Time lookahead) {
+  shards_ = std::max<std::size_t>(1, shards);
+  set_scalar(lookahead);
+}
+
+void WindowPolicy::set_scalar(Time lookahead) {
+  if (!(lookahead > 0) || !std::isfinite(lookahead)) {
+    throw std::invalid_argument("WindowPolicy: lookahead must be > 0");
+  }
+  scalar_ = lookahead;
+}
+
+void WindowPolicy::set_plan(std::vector<LookaheadEpoch> plan) {
+  for (std::size_t e = 0; e < plan.size(); ++e) {
+    if (!(plan[e].lookahead > 0) || !std::isfinite(plan[e].lookahead)) {
+      throw std::invalid_argument(
+          "WindowPolicy::set_plan: lookahead must be > 0");
+    }
+    if (!std::isfinite(plan[e].from) ||
+        (e > 0 && !(plan[e].from > plan[e - 1].from))) {
+      throw std::invalid_argument(
+          "WindowPolicy::set_plan: epochs must be sorted by strictly "
+          "increasing from");
+    }
+  }
+  plan_ = std::move(plan);
+}
+
+void WindowPolicy::set_matrix(std::vector<Time> matrix) {
+  const std::size_t n = shards_;
+  if (!matrix.empty() && matrix.size() != n * n) {
+    throw std::invalid_argument(
+        "WindowPolicy::set_matrix: need shards^2 entries");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || matrix.empty()) continue;
+      const Time v = matrix[i * n + j];
+      // Negated > so NaN is rejected too; +infinity (edge-free pair) is
+      // explicitly allowed, unlike the scalar lookahead.
+      if (!(v > 0)) {
+        throw std::invalid_argument(
+            "WindowPolicy::set_matrix: pair lookahead must be > 0");
+      }
+    }
+  }
+  if (!matrix.empty()) {
+    // Min-plus transitive closure (Floyd-Warshall over the shard graph),
+    // INCLUDING the diagonal — see the header comment for why unclosed
+    // entries are unsafe.  Entries only shrink toward the true
+    // earliest-influence bound, and closing an already-closed matrix is a
+    // no-op.  (Diagonal inputs are ignored: the cycle bound is rebuilt
+    // from the off-diagonal entries.)
+    for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] = kTimeInfinity;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == k) continue;
+        const Time ik = matrix[i * n + k];
+        if (!std::isfinite(ik)) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == k) continue;
+          const Time via = ik + matrix[k * n + j];
+          Time& d = matrix[i * n + j];
+          if (via < d) d = via;
+        }
+      }
+    }
+  }
+  matrix_ = std::move(matrix);
+}
+
+void WindowPolicy::clear_plan_and_matrix() {
+  plan_.clear();
+  matrix_.clear();
+}
+
+Time WindowPolicy::window_end(Time tmin) const {
+  Time w = tmin + scalar_;
+  if (!plan_.empty()) {
+    // Epoch in force at tmin: the last entry with from <= tmin (the
+    // construction lookahead covers times before the first epoch).
+    auto it = std::upper_bound(
+        plan_.begin(), plan_.end(), tmin,
+        [](Time t, const LookaheadEpoch& e) { return t < e.from; });
+    if (it != plan_.begin()) w = tmin + std::prev(it)->lookahead;
+    // Remap at the window boundary: an epoch starting inside the window
+    // caps it at b + L(b), so no post made under the old regime can land
+    // inside a window that already runs under the new one.
+    for (; it != plan_.end() && it->from < w; ++it) {
+      w = std::min(w, it->from + it->lookahead);
+    }
+  }
+  return w;
+}
+
+Time WindowPolicy::pair_window_end(Time t, std::size_t src,
+                                   std::size_t dst) const {
+  const Time pair = matrix_[src * shards_ + dst];
+  if (plan_.empty()) {
+    // The pair bound applies alone; an edge-free pair (+inf) yields an
+    // infinite term, i.e. no constraint from this source.
+    return t + pair;
+  }
+  // Plan installed: the effective src->dst bound at any time u is
+  // min(pair, L_plan(u)) — the epoch scalar is a valid global bound even
+  // where churn invalidated the static matrix, so the min composition
+  // stays conservative.  Same epoch-boundary clamping as window_end.
+  Time w = t + std::min(pair, scalar_);
+  auto it = std::upper_bound(
+      plan_.begin(), plan_.end(), t,
+      [](Time u, const LookaheadEpoch& e) { return u < e.from; });
+  if (it != plan_.begin()) w = t + std::min(pair, std::prev(it)->lookahead);
+  for (; it != plan_.end() && it->from < w; ++it) {
+    w = std::min(w, it->from + std::min(pair, it->lookahead));
+  }
+  return w;
+}
+
+Time WindowPolicy::floor() const {
+  Time floor = scalar_;
+  for (const LookaheadEpoch& e : plan_) floor = std::min(floor, e.lookahead);
+  return floor;
+}
+
+Time WindowPolicy::pair_floor(std::size_t src, std::size_t dst) const {
+  const Time pair = matrix_[src * shards_ + dst];
+  return plan_.empty() ? pair : std::min(pair, floor());
+}
+
+}  // namespace emcast::sim

@@ -1,0 +1,342 @@
+#include "sim/wire_codec.hpp"
+
+#include <limits>
+
+namespace emcast::sim::wire {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+void put_header(ByteWriter& w, FrameType type) {
+  w.u32(kMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+}
+
+/// Explicit field-by-field packet encoding — the layout is the wire
+/// contract, not the compiler's struct layout.
+void put_packet(ByteWriter& w, const Packet& p) {
+  w.u64(p.id);
+  w.i32(p.flow);
+  w.i32(p.group);
+  w.f64(p.size);
+  w.f64(p.created);
+  w.f64(p.hop_arrival);
+  w.u32(p.hops);
+  w.u8(p.priority);
+  w.i32(p.dest);
+}
+
+Packet get_packet(ByteReader& r) {
+  Packet p;
+  p.id = r.u64();
+  p.flow = r.i32();
+  p.group = r.i32();
+  p.size = r.f64();
+  p.created = r.f64();
+  p.hop_arrival = r.f64();
+  p.hops = r.u32();
+  p.priority = r.u8();
+  p.dest = r.i32();
+  return p;
+}
+
+void put_msg(ByteWriter& w, const CrossShardMsg& m) {
+  put_packet(w, m.packet);
+  w.f64(m.deliver_at);
+  w.u64(m.seq);
+  w.u32(m.source_shard);
+  w.i32(m.dest_host);
+}
+
+CrossShardMsg get_msg(ByteReader& r) {
+  CrossShardMsg m;
+  m.packet = get_packet(r);
+  m.deliver_at = r.f64();
+  m.seq = r.u64();
+  m.source_shard = r.u32();
+  m.dest_host = r.i32();
+  return m;
+}
+
+/// Header check shared by every decode_*: magic, version, EXACT type.
+/// Returns a reader positioned at the body.
+ByteReader open_frame(const std::uint8_t* data, std::size_t size,
+                      FrameType expect) {
+  ByteReader r(data, size);
+  std::uint32_t magic;
+  std::uint16_t version, type;
+  try {
+    magic = r.u32();
+    version = r.u16();
+    type = r.u16();
+  } catch (const util::ByteRangeError&) {
+    throw WireError("wire: frame shorter than the fixed header");
+  }
+  if (magic != kMagic) throw WireError("wire: bad magic (not an EMWC frame)");
+  if (version != kWireVersion) {
+    throw WireError("wire: version mismatch (peer speaks v" +
+                    std::to_string(version) + ", this build speaks v" +
+                    std::to_string(kWireVersion) + ")");
+  }
+  if (type != static_cast<std::uint16_t>(expect)) {
+    throw WireError("wire: unexpected frame type " + std::to_string(type) +
+                    " (expected " +
+                    std::to_string(static_cast<std::uint16_t>(expect)) + ")");
+  }
+  return r;
+}
+
+/// Every frame must consume exactly its bytes: residue is corruption.
+void close_frame(const ByteReader& r) {
+  if (!r.done()) throw WireError("wire: trailing bytes after frame body");
+}
+
+/// Guard a wire-declared element count against the actual payload size
+/// BEFORE reserving memory for it — a corrupt count must throw, not OOM.
+void check_count(const ByteReader& r, std::uint64_t count,
+                 std::size_t elem_bytes) {
+  if (count > r.remaining() / elem_bytes) {
+    throw WireError("wire: element count exceeds payload size");
+  }
+}
+
+/// Rethrow a reader overrun as a frame rejection, keeping call sites flat.
+template <typename Fn>
+auto body(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const util::ByteRangeError&) {
+    throw WireError("wire: truncated frame body");
+  }
+}
+
+/// Serialized size of one CrossShardMsg (packet fields + envelope).
+constexpr std::size_t kMsgBytes = 8 + 4 + 4 + 8 + 8 + 8 + 4 + 1 + 4  // packet
+                                  + 8 + 8 + 4 + 4;  // deliver_at, seq, src, host
+
+}  // namespace
+
+void encode(std::vector<std::uint8_t>& out, const HelloFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kHello);
+  w.u32(f.worker);
+  w.u32(f.shard_begin);
+  w.u32(f.shard_end);
+}
+
+void encode(std::vector<std::uint8_t>& out, const KeysFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kKeys);
+  w.u64(f.round);
+  w.u32(f.shard_begin);
+  w.u32(static_cast<std::uint32_t>(f.keys.size()));
+  for (const std::uint64_t k : f.keys) w.u64(k);
+}
+
+void encode(std::vector<std::uint8_t>& out, const WindowFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kWindow);
+  w.u64(f.round);
+  w.u8(static_cast<std::uint8_t>(f.verdict));
+  w.u32(static_cast<std::uint32_t>(f.keys.size()));
+  for (const std::uint64_t k : f.keys) w.u64(k);
+}
+
+void encode(std::vector<std::uint8_t>& out, const HandoffFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kHandoff);
+  w.u32(f.dest_shard);
+  w.u32(static_cast<std::uint32_t>(f.msgs.size()));
+  for (const CrossShardMsg& m : f.msgs) put_msg(w, m);
+}
+
+void encode(std::vector<std::uint8_t>& out, const RoundDoneFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kRoundDone);
+  w.u64(f.round);
+}
+
+void encode(std::vector<std::uint8_t>& out, const DrainGoFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kDrainGo);
+  w.u64(f.round);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ResultFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kResult);
+  w.u32(f.shard);
+  w.u64(f.blob.size());
+  w.bytes(f.blob.data(), f.blob.size());
+}
+
+void encode(std::vector<std::uint8_t>& out, const ByeFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kBye);
+  w.u64(f.events_executed);
+  w.u64(f.messages_posted);
+  w.u64(f.messages_spilled);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ErrorFrame& f) {
+  ByteWriter w(out);
+  put_header(w, FrameType::kError);
+  w.u64(f.message.size());
+  w.bytes(f.message.data(), f.message.size());
+}
+
+FrameType peek_type(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  std::uint32_t magic;
+  std::uint16_t version, type;
+  try {
+    magic = r.u32();
+    version = r.u16();
+    type = r.u16();
+  } catch (const util::ByteRangeError&) {
+    throw WireError("wire: frame shorter than the fixed header");
+  }
+  if (magic != kMagic) throw WireError("wire: bad magic (not an EMWC frame)");
+  if (version != kWireVersion) {
+    throw WireError("wire: version mismatch (peer speaks v" +
+                    std::to_string(version) + ", this build speaks v" +
+                    std::to_string(kWireVersion) + ")");
+  }
+  if (type < static_cast<std::uint16_t>(FrameType::kHello) ||
+      type > static_cast<std::uint16_t>(FrameType::kError)) {
+    throw WireError("wire: unknown frame type " + std::to_string(type));
+  }
+  return static_cast<FrameType>(type);
+}
+
+HelloFrame decode_hello(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kHello);
+  return body([&] {
+    HelloFrame f;
+    f.worker = r.u32();
+    f.shard_begin = r.u32();
+    f.shard_end = r.u32();
+    if (f.shard_end < f.shard_begin) {
+      throw WireError("wire: hello with shard_end < shard_begin");
+    }
+    close_frame(r);
+    return f;
+  });
+}
+
+KeysFrame decode_keys(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kKeys);
+  return body([&] {
+    KeysFrame f;
+    f.round = r.u64();
+    f.shard_begin = r.u32();
+    const std::uint32_t count = r.u32();
+    check_count(r, count, sizeof(std::uint64_t));
+    f.keys.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) f.keys.push_back(r.u64());
+    close_frame(r);
+    return f;
+  });
+}
+
+WindowFrame decode_window(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kWindow);
+  return body([&] {
+    WindowFrame f;
+    f.round = r.u64();
+    const std::uint8_t v = r.u8();
+    if (v > static_cast<std::uint8_t>(WindowVerdict::kAbort)) {
+      throw WireError("wire: unknown window verdict " + std::to_string(v));
+    }
+    f.verdict = static_cast<WindowVerdict>(v);
+    const std::uint32_t count = r.u32();
+    check_count(r, count, sizeof(std::uint64_t));
+    f.keys.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) f.keys.push_back(r.u64());
+    close_frame(r);
+    return f;
+  });
+}
+
+HandoffFrame decode_handoff(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kHandoff);
+  return body([&] {
+    HandoffFrame f;
+    f.dest_shard = r.u32();
+    const std::uint32_t count = r.u32();
+    check_count(r, count, kMsgBytes);
+    f.msgs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) f.msgs.push_back(get_msg(r));
+    close_frame(r);
+    return f;
+  });
+}
+
+std::uint32_t decode_handoff_dest(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kHandoff);
+  return body([&] { return r.u32(); });
+}
+
+RoundDoneFrame decode_round_done(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kRoundDone);
+  return body([&] {
+    RoundDoneFrame f;
+    f.round = r.u64();
+    close_frame(r);
+    return f;
+  });
+}
+
+DrainGoFrame decode_drain_go(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kDrainGo);
+  return body([&] {
+    DrainGoFrame f;
+    f.round = r.u64();
+    close_frame(r);
+    return f;
+  });
+}
+
+ResultFrame decode_result(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kResult);
+  return body([&] {
+    ResultFrame f;
+    f.shard = r.u32();
+    const std::uint64_t count = r.u64();
+    check_count(r, count, 1);
+    f.blob.resize(count);
+    if (count != 0) r.bytes(f.blob.data(), count);
+    close_frame(r);
+    return f;
+  });
+}
+
+ByeFrame decode_bye(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kBye);
+  return body([&] {
+    ByeFrame f;
+    f.events_executed = r.u64();
+    f.messages_posted = r.u64();
+    f.messages_spilled = r.u64();
+    close_frame(r);
+    return f;
+  });
+}
+
+ErrorFrame decode_error(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = open_frame(data, size, FrameType::kError);
+  return body([&] {
+    ErrorFrame f;
+    const std::uint64_t count = r.u64();
+    check_count(r, count, 1);
+    f.message.resize(count);
+    if (count != 0) r.bytes(f.message.data(), count);
+    close_frame(r);
+    return f;
+  });
+}
+
+}  // namespace emcast::sim::wire

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/bytes.hpp"
+
 namespace emcast::util {
 
 void OnlineStats::add(double x) {
@@ -37,6 +39,22 @@ void OnlineStats::merge(const OnlineStats& other) {
 }
 
 void OnlineStats::reset() { *this = OnlineStats{}; }
+
+void OnlineStats::save(ByteWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(n_));
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(min_);
+  w.f64(max_);
+}
+
+void OnlineStats::load(ByteReader& r) {
+  n_ = static_cast<std::size_t>(r.u64());
+  mean_ = r.f64();
+  m2_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
+}
 
 double OnlineStats::variance() const {
   return n_ ? m2_ / static_cast<double>(n_) : 0.0;
@@ -119,6 +137,32 @@ void LogHistogram::merge(const LogHistogram& other) {
 void LogHistogram::reset() {
   stats_.reset();
   std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void LogHistogram::save(ByteWriter& w) const {
+  w.f64(lo_);
+  w.f64(log_lo_);
+  w.f64(inv_log_ratio_);
+  w.f64(log_ratio_);
+  w.u32(static_cast<std::uint32_t>(counts_.size()));
+  for (const std::uint64_t c : counts_) w.u64(c);
+  stats_.save(w);
+}
+
+void LogHistogram::load(ByteReader& r) {
+  lo_ = r.f64();
+  log_lo_ = r.f64();
+  inv_log_ratio_ = r.f64();
+  log_ratio_ = r.f64();
+  const std::uint32_t bins = r.u32();
+  // Size check before the allocation: a corrupt count must surface as the
+  // reader's range error, not as a multi-gigabyte assign.
+  if (r.remaining() < static_cast<std::size_t>(bins) * sizeof(std::uint64_t)) {
+    throw ByteRangeError("LogHistogram::load: truncated bins");
+  }
+  counts_.assign(bins, 0);
+  for (std::uint64_t& c : counts_) c = r.u64();
+  stats_.load(r);
 }
 
 double LogHistogram::quantile(double q) const {

@@ -17,12 +17,20 @@
 
 namespace emcast::util {
 
+class ByteReader;
+class ByteWriter;
+
 /// Single-pass mean / variance / extrema accumulator (Welford).
 class OnlineStats {
  public:
   void add(double x);
   void merge(const OnlineStats& other);
   void reset();
+
+  /// Marshal the exact accumulator state (process-backend result blobs).
+  /// Doubles travel as bit patterns, so save -> load is identity.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
@@ -86,6 +94,11 @@ class LogHistogram {
   void add(double x);
   void merge(const LogHistogram& other);
   void reset();
+
+  /// Marshal the full sketch — geometry, bins and embedded stats — so a
+  /// loaded sketch merges exactly with the live sketches it left behind.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
   std::size_t total() const { return stats_.count(); }
   const OnlineStats& stats() const { return stats_; }

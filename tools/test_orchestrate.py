@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Unit tests for the sweep orchestrator (tools/orchestrate.py).
+
+Run directly (``python3 tools/test_orchestrate.py``) or through ctest
+(registered as ``orchestrate_selftest``).  The worker is a stub python
+script, so the suite needs no C++ build; the crash/resume case — a sweep
+killed mid-run must resume without recomputing or double-counting any
+point, to a merged CSV byte-identical to an uninterrupted sweep — is
+``test_crash_resume_recomputes_nothing``.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare  # noqa: E402
+import orchestrate  # noqa: E402
+
+# The stub worker: logs its argv (one line per invocation, so the tests
+# can count executions per point), honours ORCH_FAKE_FAIL_AFTER=N by
+# exiting non-zero once N invocations are logged (the simulated crash),
+# and prints a JSON object that is a pure function of the point flags —
+# the determinism the merge-identity assertions lean on.
+FAKE_RUNNER = r'''
+import json, os, sys
+flags = {}
+argv = sys.argv[1:]
+for i in range(0, len(argv), 2):
+    flags[argv[i].lstrip("-")] = argv[i + 1]
+log = os.environ["ORCH_FAKE_LOG"]
+with open(log, "a") as f:
+    f.write(" ".join(argv) + "\n")
+fail_after = int(os.environ.get("ORCH_FAKE_FAIL_AFTER", "0"))
+if fail_after:
+    with open(log) as f:
+        if sum(1 for _ in f) > fail_after:
+            print("synthetic worker crash", file=sys.stderr)
+            sys.exit(3)
+rho = float(flags["utilization"])
+hosts = int(flags["hosts"])
+print("stray diagnostic line the parser must skip")
+print(json.dumps({
+    "deliveries": int(rho * 1000) + hosts,
+    "worst_case_delay": rho * 0.25,
+    "wall_seconds": 0.5,
+    "scheme": flags["scheme"],
+    "engine": flags["engine"],
+}, sort_keys=True))
+'''
+
+
+class OrchestrateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+        self.runner_path = os.path.join(self.dir.name, "fake_runner.py")
+        with open(self.runner_path, "w") as f:
+            f.write(FAKE_RUNNER)
+        self.log = os.path.join(self.dir.name, "invocations.log")
+        os.environ["ORCH_FAKE_LOG"] = self.log
+        self.addCleanup(os.environ.pop, "ORCH_FAKE_LOG", None)
+        os.environ.pop("ORCH_FAKE_FAIL_AFTER", None)
+
+    def args(self, out, extra=()):
+        return ["--out", out,
+                "--runner", f"{sys.executable} {self.runner_path}",
+                "--rho", "0.5,0.9", "--topo", "64:0,128:16",
+                "--schemes", "sigma-rho,adaptive",
+                "--engines", "single,process",
+                "--jobs", "1"] + list(extra)
+
+    def invocations(self):
+        if not os.path.exists(self.log):
+            return []
+        with open(self.log) as f:
+            return [line.strip() for line in f if line.strip()]
+
+    def read(self, path):
+        with open(path) as f:
+            return f.read()
+
+    def test_dry_run_plan_is_pinned(self):
+        import contextlib
+        import io
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = orchestrate.main(self.args(os.path.join(self.dir.name, "s"),
+                                            ["--dry-run"]))
+        self.assertEqual(rc, 0)
+        lines = buf.getvalue().splitlines()
+        self.assertEqual(lines[0], "plan: 16 point(s)")
+        self.assertEqual(len(lines), 17)
+        # The plan order is the documented nesting: rho > topo > scheme >
+        # engine, axis values in the order given.
+        ids = [line.split(":")[0].strip() for line in lines[1:]]
+        self.assertEqual(ids[:4], [
+            "u0p5-h64r0-sigma-rho-single",
+            "u0p5-h64r0-sigma-rho-process",
+            "u0p5-h64r0-adaptive-single",
+            "u0p5-h64r0-adaptive-process",
+        ])
+        self.assertEqual(ids[-1], "u0p9-h128r16-adaptive-process")
+        self.assertEqual(len(set(ids)), 16, "duplicate points in the plan")
+        # Engine-specific flags only where they mean something, and the
+        # worker argv is spelled out in full (the plan IS the sweep).
+        self.assertNotIn("--processes", lines[1])
+        self.assertIn("--shards 4 --processes 2", lines[2])
+        self.assertIn("--utilization 0.5 --hosts 64 --routers 0 "
+                      "--scheme sigma-rho --engine single", lines[1])
+        # Nothing ran.
+        self.assertEqual(self.invocations(), [])
+
+    def test_full_sweep_merges_deterministically(self):
+        out_a = os.path.join(self.dir.name, "a")
+        out_b = os.path.join(self.dir.name, "b")
+        self.assertEqual(orchestrate.main(self.args(out_a)), 0)
+        self.assertEqual(len(self.invocations()), 16)
+        self.assertEqual(orchestrate.main(self.args(out_b)), 0)
+        csv_a = self.read(os.path.join(out_a, "merged.csv"))
+        csv_b = self.read(os.path.join(out_b, "merged.csv"))
+        self.assertEqual(csv_a, csv_b, "merged CSV is not deterministic")
+        rows = csv_a.splitlines()
+        self.assertEqual(len(rows), 17)
+        self.assertTrue(rows[0].startswith(
+            "point,rho,hosts,routers,scheme,engine,"))
+        self.assertTrue(rows[1].startswith(
+            "u0p5-h64r0-sigma-rho-single,0.5,64,0,sigma-rho,single,"))
+        # The bench-shaped merge is directly readable by the CI gate's
+        # median loader, with one entry per point.
+        medians = bench_compare.load_medians(
+            os.path.join(out_a, "merged_bench.json"))
+        self.assertEqual(len(medians), 16)
+        name = "BM_Sweep/sigma-rho/single/u50/h64"
+        self.assertIn(name, medians)
+        # deliveries 564 over wall 0.5s
+        self.assertAlmostEqual(medians[name]["items_per_second"], 1128.0)
+
+    def test_crash_resume_recomputes_nothing(self):
+        out = os.path.join(self.dir.name, "crash")
+        ref = os.path.join(self.dir.name, "ref")
+        self.assertEqual(orchestrate.main(self.args(ref)), 0)
+        ref_csv = self.read(os.path.join(ref, "merged.csv"))
+        os.remove(self.log)
+
+        os.environ["ORCH_FAKE_FAIL_AFTER"] = "5"
+        self.assertNotEqual(orchestrate.main(self.args(out)), 0)
+        self.assertFalse(os.path.exists(os.path.join(out, "merged.csv")),
+                         "a failed sweep must not publish a merge")
+        survived = len(self.invocations())
+        self.assertEqual(survived, 16, "every point was attempted once")
+        done = len(os.listdir(os.path.join(out, "results")))
+        self.assertEqual(done, 5, "checkpoints for the points that finished")
+
+        os.environ.pop("ORCH_FAKE_FAIL_AFTER")
+        self.assertEqual(orchestrate.main(self.args(out)), 0)
+        # The resume ran exactly the 11 missing points: no point executed
+        # twice across crash + resume, none skipped.
+        self.assertEqual(len(self.invocations()), 16 + 11)
+        per_point = {}
+        for argv in self.invocations():
+            per_point[argv] = per_point.get(argv, 0) + 1
+        self.assertEqual(sorted(set(per_point.values())), [1, 2])
+        self.assertEqual(sum(1 for n in per_point.values() if n == 1), 5,
+                         "the checkpointed points must not run again")
+        self.assertEqual(self.read(os.path.join(out, "merged.csv")), ref_csv,
+                         "resumed merge differs from the uninterrupted one")
+
+    def test_corrupt_checkpoint_is_recomputed(self):
+        out = os.path.join(self.dir.name, "corrupt")
+        self.assertEqual(orchestrate.main(self.args(out)), 0)
+        baseline_csv = self.read(os.path.join(out, "merged.csv"))
+        victim = os.path.join(out, "results",
+                              "u0p9-h128r16-adaptive-process.json")
+        with open(victim, "w") as f:
+            f.write("{ truncated by a kill mid-wr")
+        # A stray .tmp (kill inside atomic_write_json) must be inert.
+        with open(victim + ".tmp", "w") as f:
+            f.write("garbage")
+        before = len(self.invocations())
+        self.assertEqual(orchestrate.main(self.args(out)), 0)
+        self.assertEqual(len(self.invocations()), before + 1,
+                         "exactly the corrupt point is recomputed")
+        self.assertEqual(self.read(os.path.join(out, "merged.csv")),
+                         baseline_csv)
+
+    def test_grid_mismatch_is_refused(self):
+        out = os.path.join(self.dir.name, "grid")
+        self.assertEqual(orchestrate.main(self.args(out)), 0)
+        args = self.args(out)
+        args[args.index("0.5,0.9")] = "0.5,0.95"
+        self.assertEqual(orchestrate.main(args), 2,
+                         "a different grid must not silently mix in")
+
+    def test_worker_failure_reports_and_retries(self):
+        out = os.path.join(self.dir.name, "fail")
+        os.environ["ORCH_FAKE_FAIL_AFTER"] = "0"
+        # A runner that always crashes: exit 1, no checkpoints, no merge.
+        bad = os.path.join(self.dir.name, "bad_runner.py")
+        with open(bad, "w") as f:
+            f.write("import sys; print('boom', file=sys.stderr); sys.exit(4)")
+        args = self.args(out)
+        args[args.index(f"{sys.executable} {self.runner_path}")] = \
+            f"{sys.executable} {bad}"
+        self.assertEqual(orchestrate.main(args), 1)
+        self.assertEqual(os.listdir(os.path.join(out, "results")), [])
+
+    def test_manifest_pins_grid_and_survives_kill_between_writes(self):
+        out = os.path.join(self.dir.name, "manifest")
+        self.assertEqual(orchestrate.main(self.args(out)), 0)
+        with open(os.path.join(out, "manifest.json")) as f:
+            manifest = json.load(f)
+        self.assertEqual(manifest["version"], 1)
+        self.assertEqual(len(manifest["completed"]), 16)
+        self.assertEqual(manifest["grid"]["rho"], [0.5, 0.9])
+        # Completion is decided by checkpoints, not the advisory list: a
+        # manifest rolled back to empty (kill between checkpoint and
+        # manifest write) must not recompute anything.
+        manifest["completed"] = []
+        with open(os.path.join(out, "manifest.json"), "w") as f:
+            json.dump(manifest, f)
+        before = len(self.invocations())
+        self.assertEqual(orchestrate.main(self.args(out)), 0)
+        self.assertEqual(len(self.invocations()), before)
+
+
+if __name__ == "__main__":
+    unittest.main()
