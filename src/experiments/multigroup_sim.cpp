@@ -778,6 +778,17 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
       rec.host = rd.i32();
       return rec;
     };
+    // Wire-declared record counts must fit the remaining payload (the
+    // wire codec's check_count discipline): a truncated blob must fail
+    // as a clean range error, not a multi-GB reserve.
+    constexpr std::size_t kRecWireBytes = 24;  // u64 + u64 + i32 + i32
+    const auto check_rec_count = [](const util::ByteReader& rd,
+                                    std::uint64_t count) {
+      if (count > rd.remaining() / kRecWireBytes) {
+        throw util::ByteRangeError(
+            "process result blob: record count exceeds payload");
+      }
+    };
     engine.set_shard_results(
         [&, put_rec](std::size_t s, std::vector<std::uint8_t>& blob) {
           util::ByteWriter w(blob);
@@ -808,8 +819,8 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
           w.u64(ss.trace.size());
           for (const DeliveryRecord& rec : ss.trace) put_rec(w, rec);
         },
-        [&, get_rec](std::size_t s, const std::uint8_t* data,
-                     std::size_t size) {
+        [&, get_rec, check_rec_count](std::size_t s, const std::uint8_t* data,
+                                      std::size_t size) {
           util::ByteReader rd(data, size);
           ShardState& ss = shard_state[s];
           ss.tracer.load(rd);
@@ -825,11 +836,13 @@ MultiGroupSimResult run_multigroup(const MultiGroupSimConfig& config,
           // exactly: the winning set is a pure function of the offered
           // records, and these ARE the winners.
           const std::uint32_t samples = rd.u32();
+          check_rec_count(rd, samples);
           for (std::uint32_t i = 0; i < samples; ++i) {
             const DeliveryRecord rec = get_rec(rd);
             ss.sample.offer(delivery_sample_key(rec), rec);
           }
           const std::uint64_t traced = rd.u64();
+          check_rec_count(rd, traced);
           ss.trace.reserve(static_cast<std::size_t>(traced));
           for (std::uint64_t i = 0; i < traced; ++i) {
             ss.trace.push_back(get_rec(rd));

@@ -316,6 +316,15 @@ std::uint64_t ProcessSimulator::hub_main(std::vector<WorkerProc>& workers,
   }
 
   std::vector<std::uint64_t> keys(n, kInfTimeKey);
+  // Relay backlog, one queue per destination worker: a worker still in
+  // its egress phase is not reading its channel (it is blocked sending
+  // handoffs to us), so relaying to it immediately can deadlock once the
+  // rings fill in both directions — its egress and the relayed traffic
+  // each may exceed the 256-KB ring.  Frames for a worker are held here
+  // until its RoundDone arrives; from then on it sits in its ingest recv
+  // loop and is guaranteed to drain whatever the hub sends.
+  std::vector<bool> ingesting(workers.size(), false);
+  std::vector<std::vector<std::vector<std::uint8_t>>> backlog(workers.size());
   for (std::uint64_t round = 0;; ++round) {
     // ---- collect the key image (the distributed min-reduction).
     for (std::size_t w = 0; w < workers.size(); ++w) {
@@ -363,6 +372,10 @@ std::uint64_t ProcessSimulator::hub_main(std::vector<WorkerProc>& workers,
 
     // ---- route handoffs until every worker's RoundDone is in.  Raw
     // frame bytes are relayed untouched — the hub never decodes a batch.
+    // Per-destination delivery order matches an immediate relay (source
+    // workers read in index order, frames in arrival order within each),
+    // so the buffering is invisible to the protocol.
+    std::fill(ingesting.begin(), ingesting.end(), false);
     for (std::size_t w = 0; w < workers.size(); ++w) {
       for (;;) {
         const wire::FrameType t = recv_typed(workers[w]);
@@ -382,8 +395,16 @@ std::uint64_t ProcessSimulator::hub_main(std::vector<WorkerProc>& workers,
         if (dest >= n) {
           throw wire::WireError("wire: handoff to nonexistent shard");
         }
-        workers[owner_of(dest)].ch->send_frame(frame);
+        const std::size_t owner = owner_of(dest);
+        if (ingesting[owner]) {
+          workers[owner].ch->send_frame(frame);
+        } else {
+          backlog[owner].push_back(frame);
+        }
       }
+      ingesting[w] = true;
+      for (const auto& held : backlog[w]) workers[w].ch->send_frame(held);
+      backlog[w].clear();
     }
     buf.clear();
     wire::encode(buf, wire::DrainGoFrame{round});

@@ -228,6 +228,35 @@ TEST(ProcessSimRobust, ModelErrorMessageCrossesTheBoundary) {
   }
 }
 
+TEST(ProcessSimRobust, BulkHandoffsBothWaysDoNotDeadlockTheRelay) {
+  // Regression: the hub used to relay handoff frames straight to their
+  // destination worker while that worker was itself still blocked sending
+  // its own egress to the hub — once each direction exceeded the ring,
+  // neither side could drain and the run died on the transport deadline.
+  // The hub now holds a worker's inbound frames until its RoundDone.
+  Engine e(tiny_process_config(2));
+  // ~73 wire bytes per message: both bursts comfortably exceed the
+  // 256-KB per-direction ring within a single round.
+  constexpr int kBulk = 6000;
+  e.set_deliver([](SimContext, HostId, const Packet&) {});
+  SimContext ctx0 = e.context(0);
+  SimContext ctx1 = e.context(1);
+  Packet p{};
+  ctx0.schedule_at(0.0, [ctx0, p] {
+    for (int i = 0; i < kBulk; ++i) {
+      Packet q = p;
+      ctx0.deliver(1, q, 2.0);
+    }
+  });
+  ctx1.schedule_at(0.0, [ctx1, p] {
+    for (int i = 0; i < kBulk; ++i) {
+      Packet q = p;
+      ctx1.deliver(0, q, 2.0);
+    }
+  });
+  EXPECT_EQ(e.run(10.0), 2u + 2u * kBulk);  // 2 burst events + deliveries
+}
+
 std::size_t open_fd_count() {
   std::size_t n = 0;
   DIR* d = ::opendir("/proc/self/fd");

@@ -208,6 +208,11 @@ def load_or_create_manifest(out_dir, grid, runner):
             raise OrchestrateError(
                 "manifest grid differs from the requested grid — resuming "
                 "would mix sweeps; use a fresh --out directory")
+        if manifest.get("runner") != list(runner):
+            raise OrchestrateError(
+                "manifest runner differs from the requested --runner — "
+                "resuming would mix results from different binaries; use a "
+                "fresh --out directory")
         return manifest
     manifest = {
         "version": MANIFEST_VERSION,
@@ -255,6 +260,17 @@ def run_point(runner, grid, point, results_dir):
     return None
 
 
+def fmt_numeric(value):
+    """Exact CSV cell for a worker metric: ints verbatim (``%g`` would
+    round big counters to 6 significant digits), floats by shortest
+    round-trip repr."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)
+
+
 def merge(out_dir, grid, points):
     """Write merged.csv + merged_bench.json from the per-point checkpoints.
 
@@ -283,7 +299,7 @@ def merge(out_dir, grid, points):
                    str(point["routers"]), point["scheme"], point["engine"]]
             for key in numeric_keys:
                 value = result.get(key)
-                row.append("" if value is None else f"{value:g}")
+                row.append("" if value is None else fmt_numeric(value))
             f.write(",".join(row) + "\n")
 
     benchmarks = []

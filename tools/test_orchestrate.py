@@ -45,6 +45,7 @@ hosts = int(flags["hosts"])
 print("stray diagnostic line the parser must skip")
 print(json.dumps({
     "deliveries": int(rho * 1000) + hosts,
+    "events": 1234567 + hosts,
     "worst_case_delay": rho * 0.25,
     "wall_seconds": 0.5,
     "scheme": flags["scheme"],
@@ -138,6 +139,10 @@ class OrchestrateTest(unittest.TestCase):
         self.assertIn(name, medians)
         # deliveries 564 over wall 0.5s
         self.assertAlmostEqual(medians[name]["items_per_second"], 1128.0)
+        # Large integer counters survive the merge exactly (a %g-style
+        # format would have rounded 1234631 to 1.23463e+06).
+        self.assertIn(",1234631,", rows[1])
+        self.assertNotIn("e+06", csv_a)
 
     def test_crash_resume_recomputes_nothing(self):
         out = os.path.join(self.dir.name, "crash")
@@ -194,6 +199,19 @@ class OrchestrateTest(unittest.TestCase):
         args[args.index("0.5,0.9")] = "0.5,0.95"
         self.assertEqual(orchestrate.main(args), 2,
                          "a different grid must not silently mix in")
+
+    def test_runner_mismatch_is_refused(self):
+        out = os.path.join(self.dir.name, "runner")
+        self.assertEqual(orchestrate.main(self.args(out)), 0)
+        other = os.path.join(self.dir.name, "other_runner.py")
+        with open(other, "w") as f:
+            f.write(FAKE_RUNNER)
+        args = self.args(out)
+        args[args.index(f"{sys.executable} {self.runner_path}")] = \
+            f"{sys.executable} {other}"
+        self.assertEqual(orchestrate.main(args), 2,
+                         "results from a different runner binary must not "
+                         "silently mix into the sweep")
 
     def test_worker_failure_reports_and_retries(self):
         out = os.path.join(self.dir.name, "fail")
